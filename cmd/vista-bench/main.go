@@ -1,0 +1,148 @@
+// Command vista-bench regenerates the paper's evaluation: every figure and
+// table of Section 5 and Appendices A–C, printed as text tables. Select
+// specific exhibits with -only (comma-separated), e.g.:
+//
+//	vista-bench -only fig6,table3
+//	vista-bench -fig8-rows 2000 > results.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+type exhibit struct {
+	name string
+	run  func() (string, experiments.CSVExporter, error)
+}
+
+func main() {
+	var (
+		only     = flag.String("only", "", "comma-separated exhibits to run (default: all): fig6,fig7a,fig7b,fig8,fig9,fig10,fig11,fig12,fig15,fig16,table2,table3,fig17,sec52,verify")
+		fig8Rows = flag.Int("fig8-rows", 1000, "rows per dataset for the real-engine accuracy experiment")
+		fig15Rws = flag.Int("fig15-rows", 300, "rows for the real-engine size-estimation experiment")
+		csvDir   = flag.String("csv", "", "also write one plot-ready CSV per exhibit into this directory")
+	)
+	flag.Parse()
+
+	if err := runExhibitsCSV(os.Stdout, *only, *fig8Rows, *fig15Rws, *csvDir); err != nil {
+		fmt.Fprintln(os.Stderr, "vista-bench:", err)
+		os.Exit(1)
+	}
+}
+
+// runExhibits runs the selected exhibits (all when only is empty), writing
+// rendered tables to w.
+func runExhibits(w io.Writer, only string, fig8Rows, fig15Rows int) error {
+	return runExhibitsCSV(w, only, fig8Rows, fig15Rows, "")
+}
+
+// runExhibitsCSV is runExhibits with optional per-exhibit CSV output.
+func runExhibitsCSV(w io.Writer, only string, fig8Rows, fig15Rows int, csvDir string) error {
+	exhibits := []exhibit{
+		{"fig6", func() (string, experiments.CSVExporter, error) { r, err := experiments.Figure6(); return render(r, err) }},
+		{"fig7a", func() (string, experiments.CSVExporter, error) { r, err := experiments.Figure7A(); return render(r, err) }},
+		{"fig7b", func() (string, experiments.CSVExporter, error) { r, err := experiments.Figure7B(); return render(r, err) }},
+		{"fig8", func() (string, experiments.CSVExporter, error) {
+			r, err := experiments.Figure8(experiments.Figure8Options{Rows: fig8Rows})
+			return render(r, err)
+		}},
+		{"fig9", func() (string, experiments.CSVExporter, error) { return renderSweeps(experiments.Figure9()) }},
+		{"fig10", func() (string, experiments.CSVExporter, error) { return renderSweeps(experiments.Figure10()) }},
+		{"fig11", func() (string, experiments.CSVExporter, error) { r, err := experiments.Figure11(); return render(r, err) }},
+		{"fig12", func() (string, experiments.CSVExporter, error) { r, err := experiments.Figure12(); return render(r, err) }},
+		{"fig15", func() (string, experiments.CSVExporter, error) { r, err := experiments.Figure15(fig15Rows); return render(r, err) }},
+		{"fig16", func() (string, experiments.CSVExporter, error) { r, err := experiments.Figure16(); return render(r, err) }},
+		{"table2", func() (string, experiments.CSVExporter, error) { r, err := experiments.Table2(); return render(r, err) }},
+		{"table3", func() (string, experiments.CSVExporter, error) { r, err := experiments.Table3(); return render(r, err) }},
+		{"fig17", func() (string, experiments.CSVExporter, error) { r, err := experiments.Figure17(); return render(r, err) }},
+		{"sec52", func() (string, experiments.CSVExporter, error) {
+			r, err := experiments.Section52(0)
+			if err != nil {
+				return "", nil, err
+			}
+			return r.Render(), nil, nil
+		}},
+		{"verify", func() (string, experiments.CSVExporter, error) {
+			r, err := experiments.VerifyClaims()
+			if err != nil {
+				return "", nil, err
+			}
+			return r.Render(), nil, nil
+		}},
+	}
+
+	if csvDir != "" {
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			return err
+		}
+	}
+	selected := map[string]bool{}
+	if only != "" {
+		for _, n := range strings.Split(only, ",") {
+			selected[strings.TrimSpace(strings.ToLower(n))] = true
+		}
+	}
+	var firstErr error
+	for _, e := range exhibits {
+		if len(selected) > 0 && !selected[e.name] {
+			continue
+		}
+		start := time.Now()
+		out, exporter, err := e.run()
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s: %w", e.name, err)
+			}
+			continue
+		}
+		fmt.Fprintf(w, "==== %s (%v) ====\n\n%s\n", e.name, time.Since(start).Round(time.Millisecond), out)
+		if csvDir != "" && exporter != nil {
+			if err := writeCSVFile(filepath.Join(csvDir, e.name+".csv"), exporter); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
+func writeCSVFile(path string, e experiments.CSVExporter) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return experiments.WriteCSV(f, e)
+}
+
+// renderer is anything with both a Render and a CSV view.
+type renderer interface {
+	Render() string
+	experiments.CSVExporter
+}
+
+func render(r renderer, err error) (string, experiments.CSVExporter, error) {
+	if err != nil {
+		return "", nil, err
+	}
+	return r.Render(), r, nil
+}
+
+func renderSweeps(sweeps []*experiments.SweepResult, err error) (string, experiments.CSVExporter, error) {
+	if err != nil {
+		return "", nil, err
+	}
+	var b strings.Builder
+	for _, s := range sweeps {
+		b.WriteString(s.Render())
+		b.WriteByte('\n')
+	}
+	return b.String(), experiments.SweepSet(sweeps), nil
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunExhibitsSelection(t *testing.T) {
+	var b strings.Builder
+	if err := runExhibits(&b, "fig6,table3", 200, 150); err != nil {
+		t.Fatalf("runExhibits: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{"==== fig6", "==== table3", "Figure 6", "Table 3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if strings.Contains(out, "==== fig9") {
+		t.Error("unselected exhibit ran")
+	}
+}
+
+func TestRunExhibitsAllSimulatorOnes(t *testing.T) {
+	// Everything except the slow real-engine exhibits (fig8, fig15).
+	var b strings.Builder
+	err := runExhibits(&b, "fig7a,fig7b,fig9,fig10,fig11,fig12,fig16,table2,fig17", 0, 0)
+	if err != nil {
+		t.Fatalf("runExhibits: %v", err)
+	}
+	for _, want := range []string{"Figure 7(A)", "Figure 7(B)", "Figure 9", "Figure 10",
+		"Figure 11", "Figure 12", "Figure 16", "Table 2", "Figure 17"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunExhibitsCSVOutput(t *testing.T) {
+	dir := t.TempDir()
+	var b strings.Builder
+	if err := runExhibitsCSV(&b, "fig6,fig9", 0, 0, dir); err != nil {
+		t.Fatalf("runExhibitsCSV: %v", err)
+	}
+	for _, name := range []string{"fig6.csv", "fig9.csv"} {
+		blob, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !strings.Contains(string(blob), ",") {
+			t.Errorf("%s does not look like CSV", name)
+		}
+	}
+}
+
+func TestRunExhibitsUnknownName(t *testing.T) {
+	var b strings.Builder
+	if err := runExhibits(&b, "nonexistent", 0, 0); err != nil {
+		t.Fatalf("unknown selection should be a no-op, got %v", err)
+	}
+	if b.Len() != 0 {
+		t.Error("unknown selection produced output")
+	}
+}

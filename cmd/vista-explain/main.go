@@ -1,0 +1,198 @@
+// Command vista-explain shows what the Vista optimizer (Algorithm 1) decides
+// for a given environment, CNN, and dataset — the Table 1(B) variables, the
+// intermediate-size estimates behind them, and the predicted runtime on the
+// calibrated cluster profile.
+//
+// Example:
+//
+//	vista-explain -model resnet50 -dataset amazon -nodes 8 -mem 32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cnn"
+	"repro/internal/memory"
+	"repro/internal/optimizer"
+	"repro/internal/plan"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		model   = flag.String("model", "resnet50", "roster CNN: alexnet, vgg16, resnet50")
+		dataset = flag.String("dataset", "foods", "dataset preset: foods or amazon")
+		layers  = flag.Int("layers", 0, "number of top feature layers (0 = paper default per model)")
+		nodes   = flag.Int("nodes", 8, "worker nodes")
+		cores   = flag.Int("cores", 8, "cores per worker")
+		memGB   = flag.Float64("mem", 32, "system memory per worker (GB)")
+		gpuGB   = flag.Float64("gpu", 0, "GPU memory per worker (GB, 0 = no GPU)")
+		ignite  = flag.Bool("ignite", false, "memory-only (Ignite-like) PD system")
+		sweep   = flag.Bool("sweep-mem", false, "sweep worker memory from 8 to 64 GB and report feasibility / decisions / predicted runtime")
+		summary = flag.Bool("summary", false, "print the model's layer table (shapes, params, FLOPs) and exit")
+	)
+	flag.Parse()
+
+	if *summary {
+		m, err := cnn.ByName(*model)
+		if err == nil {
+			var out string
+			if out, err = cnn.Summary(m); err == nil {
+				fmt.Print(out)
+				return
+			}
+		}
+		fmt.Fprintln(os.Stderr, "vista-explain:", err)
+		os.Exit(1)
+	}
+	if *sweep {
+		if err := sweepMemory(*model, *dataset, *layers, *nodes, *cores, *gpuGB, *ignite); err != nil {
+			fmt.Fprintln(os.Stderr, "vista-explain:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*model, *dataset, *layers, *nodes, *cores, *memGB, *gpuGB, *ignite); err != nil {
+		fmt.Fprintln(os.Stderr, "vista-explain:", err)
+		os.Exit(1)
+	}
+}
+
+// sweepMemory answers the capacity-planning question behind Algorithm 1's
+// "no feasible solution" exception ("the user can provision machines with
+// more memory"): at which worker size does the workload become feasible, and
+// how do the decision and predicted runtime evolve from there?
+func sweepMemory(model, dataset string, layers, nodes, cores int, gpuGB float64, ignite bool) error {
+	fmt.Printf("Memory sweep: %s/%s, %d nodes × %d cores\n\n", model, dataset, nodes, cores)
+	fmt.Printf("%-8s %-10s %-5s %-6s %-10s %-13s %s\n",
+		"mem", "feasible", "cpu", "np", "join", "pers", "predicted")
+	for _, memGB := range []float64{8, 12, 16, 24, 32, 48, 64} {
+		line, err := sweepPoint(model, dataset, layers, nodes, cores, memGB, gpuGB, ignite)
+		if err != nil {
+			return err
+		}
+		fmt.Println(line)
+	}
+	return nil
+}
+
+func sweepPoint(model, dataset string, layers, nodes, cores int, memGB, gpuGB float64, ignite bool) (string, error) {
+	w, err := buildWorkload(model, dataset, layers, nodes, cores, memGB, gpuGB, ignite)
+	if err != nil {
+		return "", err
+	}
+	d, err := optimizer.Optimize(w.Inputs, optimizer.DefaultParams())
+	if err != nil {
+		return fmt.Sprintf("%-8s %-10s", fmt.Sprintf("%.0f GB", memGB), "no"), nil
+	}
+	prof := sim.PaperCluster().WithNodes(nodes)
+	if ignite {
+		prof = sim.IgniteCluster().WithNodes(nodes)
+	}
+	prof.MemPerNode = memory.GB(memGB)
+	r := sim.Run(w, sim.FromDecision(d, optimizer.DefaultParams()), prof)
+	pred := "crash"
+	if r.Crash == nil {
+		pred = fmt.Sprintf("%.1f min", r.TotalMin())
+	}
+	return fmt.Sprintf("%-8s %-10s %-5d %-6d %-10v %-13v %s",
+		fmt.Sprintf("%.0f GB", memGB), "yes", d.CPU, d.NP, d.Join, d.Pers, pred), nil
+}
+
+// buildWorkload assembles the simulator workload for the given environment.
+func buildWorkload(model, dataset string, layers, nodes, cores int, memGB, gpuGB float64, ignite bool) (sim.Workload, error) {
+	var ds sim.DatasetSpec
+	switch dataset {
+	case "foods":
+		ds = sim.FoodsSpec()
+	case "amazon":
+		ds = sim.AmazonSpec()
+	default:
+		return sim.Workload{}, fmt.Errorf("unknown dataset %q", dataset)
+	}
+	if layers <= 0 {
+		switch model {
+		case "alexnet":
+			layers = 4
+		case "vgg16":
+			layers = 3
+		default:
+			layers = 5
+		}
+	}
+	return sim.NewWorkload(sim.WorkloadSpec{
+		ModelName: model, NumLayers: layers, Dataset: ds,
+		PlanKind: plan.Staged, Placement: plan.AfterJoin,
+		Nodes: nodes, CPUSys: cores,
+		MemSys: memory.GB(memGB), MemGPU: memory.GB(gpuGB),
+		MemoryOnly: ignite,
+	})
+}
+
+func run(model, dataset string, layers, nodes, cores int, memGB, gpuGB float64, ignite bool) error {
+	w, err := buildWorkload(model, dataset, layers, nodes, cores, memGB, gpuGB, ignite)
+	if err != nil {
+		return err
+	}
+	layers = w.Inputs.NumLayers
+	ds := sim.DatasetSpec{Name: dataset, Rows: w.Inputs.NumRows,
+		StructDim: w.Inputs.StructDim, ImageRowBytes: w.Inputs.ImageRowBytes}
+	params := optimizer.DefaultParams()
+
+	sizes, sSingle, sDouble, err := optimizer.IntermediateSizes(w.Inputs, params)
+	if err != nil {
+		return err
+	}
+	st := w.Inputs.ModelStats
+	fmt.Printf("Model %s: %d params, |f|_ser=%s, |f|_mem=%s, |f|_mem_gpu=%s\n",
+		st.ModelName, st.Params, memory.FormatBytes(st.SerializedBytes),
+		memory.FormatBytes(st.MemBytes), memory.FormatBytes(st.GPUMemBytes))
+	fmt.Printf("Workload: %s (%d rows × %d features), |L|=%d\n\n", ds.Name, ds.Rows, ds.StructDim, layers)
+
+	fmt.Println("Intermediate table estimates (Equation 16):")
+	lsList, err := st.TopLayerStats(layers)
+	if err != nil {
+		return err
+	}
+	for i, ls := range lsList {
+		fmt.Printf("  T%d (%s): %s (raw %d elems, pooled %d dims)\n",
+			i+1, ls.Name, memory.FormatBytes(sizes[i]), ls.RawElems, ls.FeatureDim)
+	}
+	fmt.Printf("  s_single=%s  s_double=%s\n\n",
+		memory.FormatBytes(sSingle), memory.FormatBytes(sDouble))
+
+	d, err := optimizer.Optimize(w.Inputs, params)
+	if err != nil {
+		return fmt.Errorf("optimizer: %w", err)
+	}
+	fmt.Println("Decision (Algorithm 1):")
+	fmt.Printf("  cpu         = %d\n", d.CPU)
+	fmt.Printf("  np          = %d\n", d.NP)
+	fmt.Printf("  join        = %v\n", d.Join)
+	fmt.Printf("  persistence = %v\n", d.Pers)
+	fmt.Printf("  mem_storage = %s\n", memory.FormatBytes(d.MemStorage))
+	fmt.Printf("  mem_user    = %s\n", memory.FormatBytes(d.MemUser))
+	fmt.Printf("  mem_dl      = %s\n\n", memory.FormatBytes(d.MemDL))
+
+	prof := sim.PaperCluster().WithNodes(nodes)
+	if ignite {
+		prof = sim.IgniteCluster().WithNodes(nodes)
+	}
+	if gpuGB > 0 {
+		prof = sim.SingleNodeGPU()
+		prof.Nodes = nodes
+		prof.GPU.MemBytes = memory.GB(gpuGB)
+	}
+	r := sim.Run(w, sim.FromDecision(d, params), prof)
+	if r.Crash != nil {
+		return fmt.Errorf("simulated run crashed (should not happen with an optimizer decision): %w", r.Crash)
+	}
+	fmt.Printf("Predicted runtime on %s: %.1f min (read %.1f, join %.1f, spills %s)\n",
+		prof.Name, r.TotalMin(), r.ReadSec/60, r.JoinSec/60, memory.FormatBytes(r.SpilledBytes))
+	for _, l := range r.Layers {
+		fmt.Printf("  %-10s infer %6.1fs  train %6.1fs\n", l.Layer, l.InferSec, l.TrainFirstSec+l.TrainRestSec)
+	}
+	return nil
+}

@@ -1,0 +1,341 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/cnn"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/memory"
+	"repro/internal/optimizer"
+	"repro/internal/plan"
+	"repro/internal/sim"
+)
+
+// workloadRequest is the shared request body for /explain, /simulate, /run.
+type workloadRequest struct {
+	// Model is a roster name; full-scale for explain/simulate, Tiny* for
+	// run.
+	Model string `json:"model"`
+	// Dataset is "foods" or "amazon".
+	Dataset string `json:"dataset"`
+	// Layers is |L| (0 = the paper's default for the model).
+	Layers int `json:"layers"`
+	// Nodes/Cores/MemGB describe the environment (defaults: 8/8/32 for
+	// explain+simulate, 2/4/32 for run).
+	Nodes  int     `json:"nodes"`
+	Cores  int     `json:"cores"`
+	MemGB  float64 `json:"mem_gb"`
+	Ignite bool    `json:"ignite"`
+	// Plan overrides the logical plan for /simulate ("staged", "lazy",
+	// "eager"; default staged).
+	Plan string `json:"plan"`
+	// Rows bounds the generated dataset for /run (default 500, max 20000).
+	Rows int `json:"rows"`
+	// Seed drives generation and weights for /run.
+	Seed int64 `json:"seed"`
+}
+
+func (r *workloadRequest) defaults(forRun bool) {
+	if r.Layers <= 0 {
+		switch r.Model {
+		case "alexnet", "tiny-alexnet":
+			r.Layers = 4
+		case "vgg16", "tiny-vgg16":
+			r.Layers = 3
+		default:
+			r.Layers = 3
+		}
+	}
+	if r.Nodes <= 0 {
+		if forRun {
+			r.Nodes = 2
+		} else {
+			r.Nodes = 8
+		}
+	}
+	if r.Cores <= 0 {
+		if forRun {
+			r.Cores = 4
+		} else {
+			r.Cores = 8
+		}
+	}
+	if r.MemGB <= 0 {
+		r.MemGB = 32
+	}
+	if r.Rows <= 0 {
+		r.Rows = 500
+	}
+	if r.Seed == 0 {
+		r.Seed = 7
+	}
+}
+
+// decisionJSON is the wire form of an optimizer decision.
+type decisionJSON struct {
+	CPU        int    `json:"cpu"`
+	NP         int    `json:"np"`
+	Join       string `json:"join"`
+	Persist    string `json:"persistence"`
+	MemDL      int64  `json:"mem_dl_bytes"`
+	MemUser    int64  `json:"mem_user_bytes"`
+	MemStorage int64  `json:"mem_storage_bytes"`
+}
+
+func toDecisionJSON(d optimizer.Decision) decisionJSON {
+	return decisionJSON{
+		CPU: d.CPU, NP: d.NP,
+		Join: d.Join.String(), Persist: d.Pers.String(),
+		MemDL: d.MemDL, MemUser: d.MemUser, MemStorage: d.MemStorage,
+	}
+}
+
+// newHandler builds the service mux.
+func newHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /roster", handleRoster)
+	mux.HandleFunc("POST /explain", handleExplain)
+	mux.HandleFunc("POST /simulate", handleSimulate)
+	mux.HandleFunc("POST /run", handleRun)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func decodeRequest(r *http.Request, forRun bool) (*workloadRequest, error) {
+	var req workloadRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return nil, fmt.Errorf("bad request body: %w", err)
+	}
+	if req.Model == "" || req.Dataset == "" {
+		return nil, errors.New("model and dataset are required")
+	}
+	req.defaults(forRun)
+	return &req, nil
+}
+
+func handleRoster(w http.ResponseWriter, _ *http.Request) {
+	type entry struct {
+		Name            string `json:"name"`
+		Params          int64  `json:"params"`
+		SerializedBytes int64  `json:"serialized_bytes"`
+		MemBytes        int64  `json:"mem_bytes"`
+		GFLOPs          float64 `json:"gflops_per_inference"`
+		FeatureLayers   []string `json:"feature_layers"`
+	}
+	var out []entry
+	for _, name := range cnn.RosterNames() {
+		m, err := cnn.ByName(name)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		st, err := cnn.ComputeStats(m)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		e := entry{Name: name, Params: st.Params, SerializedBytes: st.SerializedBytes,
+			MemBytes: st.MemBytes, GFLOPs: float64(st.TotalFLOPs) / 1e9}
+		for _, fl := range m.FeatureLayers {
+			e.FeatureLayers = append(e.FeatureLayers, fl.Name)
+		}
+		out = append(out, e)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// buildSimWorkload assembles a simulator workload from a request.
+func buildSimWorkload(req *workloadRequest, kind plan.Kind) (sim.Workload, error) {
+	var ds sim.DatasetSpec
+	switch req.Dataset {
+	case "foods":
+		ds = sim.FoodsSpec()
+	case "amazon":
+		ds = sim.AmazonSpec()
+	default:
+		return sim.Workload{}, fmt.Errorf("unknown dataset %q", req.Dataset)
+	}
+	return sim.NewWorkload(sim.WorkloadSpec{
+		ModelName: req.Model, NumLayers: req.Layers, Dataset: ds,
+		PlanKind: kind, Placement: plan.AfterJoin,
+		Nodes: req.Nodes, CPUSys: req.Cores,
+		MemSys:     memory.GB(req.MemGB),
+		MemoryOnly: req.Ignite,
+	})
+}
+
+func handleExplain(w http.ResponseWriter, r *http.Request) {
+	req, err := decodeRequest(r, false)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	wl, err := buildSimWorkload(req, plan.Staged)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	params := optimizer.DefaultParams()
+	sizes, sSingle, sDouble, err := optimizer.IntermediateSizes(wl.Inputs, params)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := map[string]any{
+		"table_size_bytes": sizes,
+		"s_single_bytes":   sSingle,
+		"s_double_bytes":   sDouble,
+	}
+	d, err := optimizer.Optimize(wl.Inputs, params)
+	if err != nil {
+		resp["feasible"] = false
+		resp["reason"] = err.Error()
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	resp["feasible"] = true
+	resp["decision"] = toDecisionJSON(d)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func handleSimulate(w http.ResponseWriter, r *http.Request) {
+	req, err := decodeRequest(r, false)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	kind := plan.Staged
+	switch req.Plan {
+	case "", "staged":
+	case "lazy":
+		kind = plan.Lazy
+	case "eager":
+		kind = plan.Eager
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown plan %q", req.Plan))
+		return
+	}
+	wl, err := buildSimWorkload(req, kind)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	cfg, err := sim.VistaConfig(wl)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	prof := sim.PaperCluster().WithNodes(req.Nodes)
+	if req.Ignite {
+		prof = sim.IgniteCluster().WithNodes(req.Nodes)
+	}
+	prof.MemPerNode = memory.GB(req.MemGB)
+	res := sim.Run(wl, cfg, prof)
+	if res.Crash != nil {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"crashed": true, "crash": res.Crash.Error(),
+			"decision": toDecisionJSON(optimizer.Decision{
+				CPU: cfg.CPU, NP: cfg.NP, Join: cfg.Join, Pers: cfg.Pers}),
+		})
+		return
+	}
+	type layerJSON struct {
+		Layer    string  `json:"layer"`
+		InferSec float64 `json:"infer_sec"`
+		TrainSec float64 `json:"train_sec"`
+		SpillSec float64 `json:"spill_sec"`
+	}
+	var layers []layerJSON
+	for _, l := range res.Layers {
+		layers = append(layers, layerJSON{Layer: l.Layer, InferSec: l.InferSec,
+			TrainSec: l.TrainFirstSec + l.TrainRestSec, SpillSec: l.SpillSec})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"crashed":       false,
+		"total_minutes": res.TotalMin(),
+		"read_sec":      res.ReadSec,
+		"join_sec":      res.JoinSec,
+		"spilled_bytes": res.SpilledBytes,
+		"layers":        layers,
+	})
+}
+
+// maxRunRows bounds /run's dataset size: this endpoint executes for real.
+const maxRunRows = 20000
+
+func handleRun(w http.ResponseWriter, r *http.Request) {
+	req, err := decodeRequest(r, true)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Rows > maxRunRows {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("rows %d exceeds the real-execution cap %d", req.Rows, maxRunRows))
+		return
+	}
+	var spec data.Spec
+	switch req.Dataset {
+	case "foods":
+		spec = data.Foods()
+	case "amazon":
+		spec = data.Amazon()
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown dataset %q", req.Dataset))
+		return
+	}
+	structRows, imageRows, err := data.Generate(spec.WithRows(req.Rows))
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	res, err := core.Run(core.Spec{
+		Nodes: req.Nodes, CoresPerNode: req.Cores,
+		MemPerNode: memory.GB(req.MemGB),
+		SystemKind: memory.SparkLike,
+		ModelName:  req.Model, NumLayers: req.Layers,
+		Downstream: core.DefaultDownstream(),
+		StructRows: structRows, ImageRows: imageRows,
+		Seed: req.Seed,
+	})
+	if err != nil {
+		if oom, ok := memory.IsOOM(err); ok {
+			writeJSON(w, http.StatusOK, map[string]any{"crashed": true, "crash": oom.Error()})
+			return
+		}
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	type layerJSON struct {
+		Layer      string  `json:"layer"`
+		FeatureDim int     `json:"feature_dim"`
+		TrainF1    float64 `json:"train_f1"`
+		TestF1     float64 `json:"test_f1"`
+	}
+	var layers []layerJSON
+	for _, l := range res.Layers {
+		layers = append(layers, layerJSON{Layer: l.LayerName, FeatureDim: l.FeatureDim,
+			TrainF1: l.Train.F1, TestF1: l.Test.F1})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"crashed":    false,
+		"decision":   toDecisionJSON(res.Decision),
+		"layers":     layers,
+		"elapsed_ms": res.Elapsed.Milliseconds(),
+	})
+}

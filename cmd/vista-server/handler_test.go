@@ -1,0 +1,140 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func doJSON(t *testing.T, h http.Handler, method, path, body string) (int, map[string]any) {
+	t.Helper()
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var out map[string]any
+	if rec.Body.Len() > 0 {
+		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+			// /roster returns an array; re-wrap for uniform handling.
+			var arr []any
+			if err2 := json.Unmarshal(rec.Body.Bytes(), &arr); err2 != nil {
+				t.Fatalf("%s %s: bad JSON: %v (%s)", method, path, err, rec.Body.String())
+			}
+			out = map[string]any{"array": arr}
+		}
+	}
+	return rec.Code, out
+}
+
+func TestHealthz(t *testing.T) {
+	h := newHandler()
+	code, body := doJSON(t, h, "GET", "/healthz", "")
+	if code != http.StatusOK || body["status"] != "ok" {
+		t.Fatalf("healthz = %d %v", code, body)
+	}
+}
+
+func TestRoster(t *testing.T) {
+	h := newHandler()
+	code, body := doJSON(t, h, "GET", "/roster", "")
+	if code != http.StatusOK {
+		t.Fatalf("roster = %d", code)
+	}
+	arr := body["array"].([]any)
+	if len(arr) != 7 {
+		t.Fatalf("roster has %d entries, want 7", len(arr))
+	}
+	first := arr[0].(map[string]any)
+	if first["name"] != "alexnet" || first["params"].(float64) <= 0 {
+		t.Errorf("first roster entry = %v", first)
+	}
+}
+
+func TestExplainEndpoint(t *testing.T) {
+	h := newHandler()
+	code, body := doJSON(t, h, "POST", "/explain", `{"model":"resnet50","dataset":"foods","layers":5}`)
+	if code != http.StatusOK {
+		t.Fatalf("explain = %d %v", code, body)
+	}
+	if body["feasible"] != true {
+		t.Fatalf("not feasible: %v", body)
+	}
+	d := body["decision"].(map[string]any)
+	if d["cpu"].(float64) != 7 {
+		t.Errorf("cpu = %v, want 7 (paper Figure 11)", d["cpu"])
+	}
+	// Infeasible environment.
+	code, body = doJSON(t, h, "POST", "/explain", `{"model":"vgg16","dataset":"foods","mem_gb":8}`)
+	if code != http.StatusOK || body["feasible"] != false {
+		t.Fatalf("8 GB VGG16 should be infeasible: %d %v", code, body)
+	}
+}
+
+func TestExplainValidationEndpoint(t *testing.T) {
+	h := newHandler()
+	if code, _ := doJSON(t, h, "POST", "/explain", `{`); code != http.StatusBadRequest {
+		t.Errorf("malformed body = %d", code)
+	}
+	if code, _ := doJSON(t, h, "POST", "/explain", `{"model":"resnet50"}`); code != http.StatusBadRequest {
+		t.Errorf("missing dataset = %d", code)
+	}
+	if code, _ := doJSON(t, h, "POST", "/explain", `{"model":"resnet50","dataset":"nope"}`); code != http.StatusBadRequest {
+		t.Errorf("bad dataset = %d", code)
+	}
+}
+
+func TestSimulateEndpoint(t *testing.T) {
+	h := newHandler()
+	code, body := doJSON(t, h, "POST", "/simulate", `{"model":"resnet50","dataset":"foods","layers":5}`)
+	if code != http.StatusOK {
+		t.Fatalf("simulate = %d %v", code, body)
+	}
+	if body["crashed"] != false {
+		t.Fatalf("vista simulate crashed: %v", body)
+	}
+	total := body["total_minutes"].(float64)
+	if total < 1 || total > 30 {
+		t.Errorf("total = %v min, want plausible Foods/ResNet50 runtime", total)
+	}
+	layers := body["layers"].([]any)
+	if len(layers) != 5 {
+		t.Errorf("layers = %d, want 5", len(layers))
+	}
+	// A lazy plan must be slower.
+	_, lazyBody := doJSON(t, h, "POST", "/simulate", `{"model":"resnet50","dataset":"foods","layers":5,"plan":"lazy"}`)
+	if lazyBody["crashed"] != false {
+		t.Fatalf("lazy simulate crashed: %v", lazyBody)
+	}
+	if lazyBody["total_minutes"].(float64) <= total {
+		t.Error("lazy not slower than staged")
+	}
+	if code, _ := doJSON(t, h, "POST", "/simulate", `{"model":"resnet50","dataset":"foods","plan":"nope"}`); code != http.StatusBadRequest {
+		t.Error("unknown plan accepted")
+	}
+}
+
+func TestRunEndpoint(t *testing.T) {
+	h := newHandler()
+	code, body := doJSON(t, h, "POST", "/run",
+		`{"model":"tiny-alexnet","dataset":"foods","layers":2,"rows":120}`)
+	if code != http.StatusOK {
+		t.Fatalf("run = %d %v", code, body)
+	}
+	if body["crashed"] != false {
+		t.Fatalf("run crashed: %v", body)
+	}
+	layers := body["layers"].([]any)
+	if len(layers) != 2 {
+		t.Fatalf("layers = %d, want 2", len(layers))
+	}
+	l0 := layers[0].(map[string]any)
+	if l0["test_f1"].(float64) <= 0 {
+		t.Errorf("layer metrics missing: %v", l0)
+	}
+	// Row cap enforced.
+	if code, _ := doJSON(t, h, "POST", "/run",
+		`{"model":"tiny-alexnet","dataset":"foods","rows":999999}`); code != http.StatusBadRequest {
+		t.Error("row cap not enforced")
+	}
+}

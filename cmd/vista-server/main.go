@@ -1,0 +1,34 @@
+// Command vista-server exposes the Vista reproduction as a small JSON HTTP
+// service:
+//
+//	GET  /healthz              liveness probe
+//	GET  /roster               the CNN roster with derived statistics
+//	POST /explain              optimizer decision + size analysis (no execution)
+//	POST /simulate             predicted runtime on a calibrated cluster profile
+//	POST /run                  real tiny-scale execution with per-layer metrics
+//
+// Example:
+//
+//	vista-server -addr :8080 &
+//	curl -s localhost:8080/explain -d '{"model":"resnet50","dataset":"foods"}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	flag.Parse()
+
+	srv := &http.Server{Addr: *addr, Handler: newHandler()}
+	log.Printf("vista-server listening on %s", *addr)
+	if err := srv.ListenAndServe(); err != nil {
+		fmt.Fprintln(os.Stderr, "vista-server:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,197 @@
+// Command vista runs a feature-transfer workload end-to-end on the real
+// dataflow engine with an executable (Tiny) roster CNN: it generates a
+// synthetic multimodal dataset, invokes the Vista optimizer, executes the
+// chosen plan, trains the downstream model on every selected layer, and
+// reports per-layer accuracy plus the run's instrumentation.
+//
+// Example:
+//
+//	vista -dataset foods -rows 2000 -model tiny-resnet50 -layers 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/dataflow"
+	"repro/internal/memory"
+	"repro/internal/ml"
+	"repro/internal/plan"
+)
+
+func main() {
+	var (
+		dataset    = flag.String("dataset", "foods", "dataset preset: foods or amazon")
+		rows       = flag.Int("rows", 2000, "number of examples to generate")
+		model      = flag.String("model", "tiny-alexnet", "roster CNN (tiny-alexnet, tiny-vgg16, tiny-resnet50)")
+		layers     = flag.Int("layers", 3, "number of top feature layers to explore (|L|)")
+		nodes      = flag.Int("nodes", 2, "simulated worker nodes")
+		cores      = flag.Int("cores", 4, "cores per worker")
+		memGB      = flag.Float64("mem", 32, "system memory per worker (GB)")
+		planKind   = flag.String("plan", "staged", "logical plan: lazy, eager, or staged")
+		placement  = flag.String("placement", "aj", "join placement: aj (after join) or bj (before join)")
+		downstream = flag.String("downstream", "logreg", "downstream model: logreg, tree, or mlp")
+		seed       = flag.Int64("seed", 7, "random seed")
+		dataDir    = flag.String("data", "", "load the dataset from this directory instead of generating it")
+		saveData   = flag.String("save-data", "", "write the generated dataset to this directory (one file per image)")
+		saveModels = flag.String("save-models", "", "write per-layer trained model artifacts (JSON) to this directory")
+	)
+	flag.Parse()
+
+	opts := runOptions{
+		dataset: *dataset, rows: *rows, model: *model, layers: *layers,
+		nodes: *nodes, cores: *cores, memGB: *memGB,
+		planKind: *planKind, placement: *placement, downstream: *downstream,
+		seed: *seed, dataDir: *dataDir, saveData: *saveData, saveModels: *saveModels,
+	}
+	if err := run(opts); err != nil {
+		fmt.Fprintln(os.Stderr, "vista:", err)
+		os.Exit(1)
+	}
+}
+
+// runOptions carries the parsed flags.
+type runOptions struct {
+	dataset    string
+	rows       int
+	model      string
+	layers     int
+	nodes      int
+	cores      int
+	memGB      float64
+	planKind   string
+	placement  string
+	downstream string
+	seed       int64
+	dataDir    string
+	saveData   string
+	saveModels string
+}
+
+func run(o runOptions) error {
+	structRows, imageRows, err := loadOrGenerate(o)
+	if err != nil {
+		return err
+	}
+
+	runSpec := core.Spec{
+		Nodes:        o.nodes,
+		CoresPerNode: o.cores,
+		MemPerNode:   memory.GB(o.memGB),
+		SystemKind:   memory.SparkLike,
+		ModelName:    o.model,
+		NumLayers:    o.layers,
+		Downstream:   core.DefaultDownstream(),
+		StructRows:   structRows,
+		ImageRows:    imageRows,
+		Seed:         o.seed,
+	}
+	switch strings.ToLower(o.planKind) {
+	case "lazy":
+		runSpec.PlanKind = plan.Lazy
+	case "eager":
+		runSpec.PlanKind = plan.Eager
+	case "staged":
+		runSpec.PlanKind = plan.Staged
+	default:
+		return fmt.Errorf("unknown plan %q", o.planKind)
+	}
+	switch strings.ToLower(o.placement) {
+	case "aj":
+		runSpec.Placement = plan.AfterJoin
+	case "bj":
+		runSpec.Placement = plan.BeforeJoin
+	default:
+		return fmt.Errorf("unknown placement %q", o.placement)
+	}
+	switch strings.ToLower(o.downstream) {
+	case "logreg":
+		runSpec.Downstream.Kind = core.LogisticRegression
+	case "tree":
+		runSpec.Downstream.Kind = core.DecisionTree
+	case "mlp":
+		runSpec.Downstream.Kind = core.MLP
+	default:
+		return fmt.Errorf("unknown downstream model %q", o.downstream)
+	}
+
+	fmt.Printf("Running %s/%s over %s with %s downstream...\n",
+		runSpec.PlanKind, runSpec.Placement, o.model, runSpec.Downstream.Kind)
+	res, err := core.Run(runSpec)
+	if err != nil {
+		if oom, ok := memory.IsOOM(err); ok {
+			return fmt.Errorf("workload crashed (Section 4.1 scenario): %w", oom)
+		}
+		return err
+	}
+
+	d := res.Decision
+	fmt.Printf("\nOptimizer decision: cpu=%d np=%d join=%v pers=%v storage=%s user=%s dl=%s\n",
+		d.CPU, d.NP, d.Join, d.Pers,
+		memory.FormatBytes(d.MemStorage), memory.FormatBytes(d.MemUser), memory.FormatBytes(d.MemDL))
+	fmt.Printf("\n%-10s %10s %10s %10s\n", "layer", "dims", "train F1", "test F1")
+	for _, lr := range res.Layers {
+		fmt.Printf("%-10s %10d %9.1f%% %9.1f%%\n",
+			lr.LayerName, lr.FeatureDim, lr.Train.F1*100, lr.Test.F1*100)
+	}
+	fmt.Printf("\nStage breakdown:\n")
+	for _, tm := range res.Timings {
+		fmt.Printf("  %-16s %v\n", tm.Label, tm.Elapsed.Round(1e6))
+	}
+	c := res.Counters
+	fmt.Printf("\nElapsed %v | tasks %d | rows %d | FLOPs %.2fG | shuffled %s | spilled %s | peak storage %s\n",
+		res.Elapsed.Round(1e6), c.TasksRun, c.RowsProcessed, float64(c.FLOPs)/1e9,
+		memory.FormatBytes(c.BytesShuffled), memory.FormatBytes(c.BytesSpilled),
+		memory.FormatBytes(c.PeakStorageBytes))
+
+	if o.saveModels != "" {
+		if err := os.MkdirAll(o.saveModels, 0o755); err != nil {
+			return err
+		}
+		for _, lr := range res.Layers {
+			path := filepath.Join(o.saveModels, lr.LayerName+".json")
+			if err := ml.SaveModel(path, lr.Model); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("Saved %d model artifacts to %s\n", len(res.Layers), o.saveModels)
+	}
+	return nil
+}
+
+// loadOrGenerate obtains the dataset from disk or the synthetic generator,
+// optionally persisting a fresh one.
+func loadOrGenerate(o runOptions) (structRows, imageRows []dataflow.Row, err error) {
+	if o.dataDir != "" {
+		fmt.Printf("Loading dataset from %s...\n", o.dataDir)
+		return data.Load(o.dataDir)
+	}
+	var spec data.Spec
+	switch o.dataset {
+	case "foods":
+		spec = data.Foods()
+	case "amazon":
+		spec = data.Amazon()
+	default:
+		return nil, nil, fmt.Errorf("unknown dataset %q", o.dataset)
+	}
+	spec = spec.WithRows(o.rows)
+	fmt.Printf("Generating %s: %d rows × %d structured features + %dx%d images...\n",
+		spec.Name, spec.Rows, spec.StructDim, spec.ImageSize, spec.ImageSize)
+	structRows, imageRows, err = data.Generate(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	if o.saveData != "" {
+		if err := data.Save(o.saveData, structRows, imageRows); err != nil {
+			return nil, nil, err
+		}
+		fmt.Printf("Saved dataset to %s\n", o.saveData)
+	}
+	return structRows, imageRows, nil
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func smallOpts(t *testing.T) runOptions {
+	t.Helper()
+	return runOptions{
+		dataset: "foods", rows: 120, model: "tiny-alexnet", layers: 2,
+		nodes: 2, cores: 2, memGB: 32,
+		planKind: "staged", placement: "aj", downstream: "logreg", seed: 1,
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	if err := run(smallOpts(t)); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunSaveDataAndModels(t *testing.T) {
+	o := smallOpts(t)
+	o.saveData = filepath.Join(t.TempDir(), "ds")
+	o.saveModels = filepath.Join(t.TempDir(), "models")
+	if err := run(o); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(o.saveData, "structured.csv")); err != nil {
+		t.Errorf("dataset not saved: %v", err)
+	}
+	entries, err := os.ReadDir(o.saveModels)
+	if err != nil || len(entries) != 2 {
+		t.Errorf("model artifacts: %v (%d entries)", err, len(entries))
+	}
+	// Round-trip: run again from the saved dataset.
+	o2 := smallOpts(t)
+	o2.dataDir = o.saveData
+	if err := run(o2); err != nil {
+		t.Fatalf("run from saved data: %v", err)
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	cases := []func(*runOptions){
+		func(o *runOptions) { o.dataset = "nope" },
+		func(o *runOptions) { o.planKind = "nope" },
+		func(o *runOptions) { o.placement = "nope" },
+		func(o *runOptions) { o.downstream = "nope" },
+		func(o *runOptions) { o.model = "nope" },
+	}
+	for i, mutate := range cases {
+		o := smallOpts(t)
+		mutate(&o)
+		if err := run(o); err == nil {
+			t.Errorf("case %d: invalid options accepted", i)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+// Quickstart: the minimal end-to-end Vista workflow.
+//
+// It generates a small Foods-like multimodal dataset (structured features +
+// images), declares a feature-transfer workload — "try the top 3 layers of
+// AlexNet with logistic regression" — and lets Vista do everything else:
+// optimize the configuration, join the tables, run staged partial CNN
+// inference, and train one downstream model per layer.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/memory"
+)
+
+func main() {
+	// 1. Data: two aligned tables, Tstr(ID, X) and Timg(ID, I).
+	spec := data.Foods().WithRows(1000)
+	structRows, imageRows, err := data.Generate(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Dataset: %d rows, %d structured features, %dx%d images\n",
+		spec.Rows, spec.StructDim, spec.ImageSize, spec.ImageSize)
+
+	// 2. Declare the workload — the what, not the how (Section 3.3).
+	workload := core.Spec{
+		// System environment.
+		Nodes:        2,
+		CoresPerNode: 4,
+		MemPerNode:   memory.GB(32),
+		SystemKind:   memory.SparkLike,
+		// CNN and the number of top feature layers to explore.
+		ModelName: "tiny-alexnet",
+		NumLayers: 3, // fc6, fc7, fc8
+		// Downstream ML routine M (paper defaults: elastic-net logistic
+		// regression, 10 iterations, 20% held-out test split).
+		Downstream: core.DefaultDownstream(),
+		// Data.
+		StructRows: structRows,
+		ImageRows:  imageRows,
+		Seed:       42,
+	}
+
+	// 3. Run. Vista picks the plan, memory apportioning, join operator,
+	// partition count, and persistence format via Algorithm 1.
+	result, err := core.Run(workload)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	d := result.Decision
+	fmt.Printf("\nVista chose: cpu=%d, np=%d, %v join, %v persistence\n",
+		d.CPU, d.NP, d.Join, d.Pers)
+	fmt.Printf("Plan: %s with %d inference stages\n\n", result.Plan.Name(), len(result.Plan.Steps))
+
+	fmt.Println("Which layer transfers best?")
+	best := 0
+	for i, lr := range result.Layers {
+		fmt.Printf("  %-6s (%4d features): test F1 = %.1f%%\n",
+			lr.LayerName, lr.FeatureDim, lr.Test.F1*100)
+		if lr.Test.F1 > result.Layers[best].Test.F1 {
+			best = i
+		}
+	}
+	fmt.Printf("\n→ Use layer %q. (Different layers transfer differently — exactly why\n"+
+		"  Vista optimizes trying several at once instead of one manual run per layer.)\n",
+		result.Layers[best].LayerName)
+}

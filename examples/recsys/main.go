@@ -1,0 +1,94 @@
+// Recsys: the paper's motivating scenario (Section 1) — a product
+// recommender at an online retailer that combines structured features
+// (price, brand, click embeddings) with product images.
+//
+// The example builds an Amazon-like multimodal dataset, compares the
+// downstream model with and without CNN image features across every layer of
+// a ResNet-style CNN, and also contrasts logistic regression with a decision
+// tree (the paper's Section 5.2 observation: conventional-depth trees don't
+// benefit much from CNN features).
+//
+// Run with:
+//
+//	go run ./examples/recsys
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/memory"
+	"repro/internal/ml"
+)
+
+func main() {
+	spec := data.Amazon().WithRows(1200)
+	structRows, imageRows, err := data.Generate(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Product catalog: %d items, %d structured features (price, embeddings, categories)\n\n",
+		spec.Rows, spec.StructDim)
+
+	// Baseline: structured features only — what the recommender used
+	// before images.
+	train, test := ml.SplitByID(structRows, 0.2)
+	lr, err := ml.TrainLogRegRows(train, ml.StructuredOnly(), spec.StructDim, ml.DefaultLogRegConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	met, err := ml.Evaluate(lr, test, ml.StructuredOnly())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Structured features only:        test F1 = %.1f%%\n", met.F1*100)
+
+	// Feature transfer: explore all 5 top layers of the ResNet-style CNN.
+	runSpec := core.Spec{
+		Nodes: 2, CoresPerNode: 4, MemPerNode: memory.GB(32),
+		SystemKind: memory.SparkLike,
+		ModelName:  "tiny-resnet50",
+		NumLayers:  5,
+		Downstream: core.DefaultDownstream(),
+		StructRows: structRows, ImageRows: imageRows,
+		Seed: 11,
+	}
+	res, err := core.Run(runSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var best core.LayerResult
+	for _, layer := range res.Layers {
+		fmt.Printf("+ images via %-8s (%5d dims): test F1 = %.1f%%\n",
+			layer.LayerName, layer.FeatureDim, layer.Test.F1*100)
+		if layer.Test.F1 > best.Test.F1 {
+			best = layer
+		}
+	}
+	fmt.Printf("\nBest transfer layer: %s (+%.1f F1 points over structured-only)\n",
+		best.LayerName, (best.Test.F1-met.F1)*100)
+
+	// The same exploration with a decision tree downstream.
+	runSpec.Downstream.Kind = core.DecisionTree
+	runSpec.NumLayers = 1
+	treeRes, err := core.Run(runSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	treeOnly, err := ml.TrainTree(train, ml.StructuredOnly(), ml.DefaultTreeConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	treeMet, err := ml.Evaluate(treeOnly, test, ml.StructuredOnly())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nDecision tree, structured only:  test F1 = %.1f%%\n", treeMet.F1*100)
+	fmt.Printf("Decision tree, + CNN features:   test F1 = %.1f%%\n", treeRes.Layers[0].Test.F1*100)
+	treeLift := (treeRes.Layers[0].Test.F1 - treeMet.F1) * 100
+	lrLift := (best.Test.F1 - met.F1) * 100
+	fmt.Printf("(The tree's lift (%+.1f) trails logistic regression's (%+.1f) — Section 5.2's\n"+
+		" observation that conventional-depth trees exploit CNN features less.)\n", treeLift, lrLift)
+}

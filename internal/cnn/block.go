@@ -1,0 +1,190 @@
+package cnn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Bottleneck is a ResNet bottleneck residual block: a 1×1 reduce, 3×3, and
+// 1×1 expand BN-conv chain with an identity or 1×1-projection shortcut,
+// followed by an elementwise add and ReLU (He et al., CVPR 2016). The paper
+// models ResNet50 as a chain of such blocks ("it is easy to extend our
+// definitions to DAG-structured CNNs", Definition 3.4, footnote 1); treating
+// each block as one composite Layer keeps the model a chain while preserving
+// the internal DAG.
+type Bottleneck struct {
+	LayerName string
+	// Mid is the bottleneck width (channels of the 3×3 conv); the block's
+	// output has 4×Mid channels.
+	Mid int
+	// Stride applies to the 3×3 conv (and projection shortcut, if any).
+	Stride int
+	// Project forces a 1×1 projection shortcut; it is also used
+	// automatically when input channels != 4*Mid or Stride != 1.
+	Project bool
+
+	in tensor.Shape // cached by sublayer builders; not part of identity
+}
+
+// Name implements Layer.
+func (b *Bottleneck) Name() string { return b.LayerName }
+
+func (b *Bottleneck) needsProjection(in tensor.Shape) bool {
+	return b.Project || b.Stride != 1 || in[0] != 4*b.Mid
+}
+
+// sublayers returns the block's internal layers for the given input shape:
+// reduce, mid, expand, and (optionally) the projection shortcut last.
+func (b *Bottleneck) sublayers(in tensor.Shape) ([]Layer, error) {
+	if len(in) != 3 {
+		return nil, fmt.Errorf("%w: bottleneck %s expects CHW, got %v", tensor.ErrShape, b.LayerName, in)
+	}
+	inC := in[0]
+	ls := []Layer{
+		&BNConv{LayerName: b.LayerName + ".reduce", ReLU: true,
+			Spec: tensor.Conv2DSpec{InChannels: inC, OutChannels: b.Mid, Kernel: 1, Stride: 1}},
+		&BNConv{LayerName: b.LayerName + ".mid", ReLU: true,
+			Spec: tensor.Conv2DSpec{InChannels: b.Mid, OutChannels: b.Mid, Kernel: 3, Stride: b.Stride, Pad: 1}},
+		&BNConv{LayerName: b.LayerName + ".expand", ReLU: false,
+			Spec: tensor.Conv2DSpec{InChannels: b.Mid, OutChannels: 4 * b.Mid, Kernel: 1, Stride: 1}},
+	}
+	if b.needsProjection(in) {
+		ls = append(ls, &BNConv{LayerName: b.LayerName + ".proj", ReLU: false,
+			Spec: tensor.Conv2DSpec{InChannels: inC, OutChannels: 4 * b.Mid, Kernel: 1, Stride: b.Stride}})
+	}
+	return ls, nil
+}
+
+// OutShape implements Layer.
+func (b *Bottleneck) OutShape(in tensor.Shape) (tensor.Shape, error) {
+	ls, err := b.sublayers(in)
+	if err != nil {
+		return nil, err
+	}
+	s := in
+	for _, l := range ls[:3] {
+		if s, err = l.OutShape(s); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// FLOPs implements Layer: sublayer FLOPs plus the residual add and final ReLU.
+func (b *Bottleneck) FLOPs(in tensor.Shape) int64 {
+	ls, err := b.sublayers(in)
+	if err != nil {
+		return 0
+	}
+	var total int64
+	s := in
+	for i, l := range ls {
+		shapeIn := s
+		if i == 3 { // projection runs on the block input
+			shapeIn = in
+		}
+		total += l.FLOPs(shapeIn)
+		if i < 3 {
+			next, err := l.OutShape(s)
+			if err != nil {
+				return 0
+			}
+			s = next
+		}
+	}
+	// Residual add + ReLU: 2 ops per output element.
+	total += 2 * int64(s.NumElements())
+	return total
+}
+
+// Params implements Layer.
+func (b *Bottleneck) Params(in tensor.Shape) int64 {
+	ls, err := b.sublayers(in)
+	if err != nil {
+		return 0
+	}
+	var total int64
+	s := in
+	for i, l := range ls {
+		shapeIn := s
+		if i == 3 {
+			shapeIn = in
+		}
+		total += l.Params(shapeIn)
+		if i < 3 {
+			next, err := l.OutShape(s)
+			if err != nil {
+				return 0
+			}
+			s = next
+		}
+	}
+	return total
+}
+
+// Apply implements Layer.
+func (b *Bottleneck) Apply(in *tensor.Tensor, w *LayerWeights) (*tensor.Tensor, error) {
+	ls, err := b.sublayers(in.Shape())
+	if err != nil {
+		return nil, err
+	}
+	if len(w.Sub) != len(ls) {
+		return nil, fmt.Errorf("cnn: bottleneck %s: %d weight sets for %d sublayers",
+			b.LayerName, len(w.Sub), len(ls))
+	}
+	out := in
+	for i, l := range ls[:3] {
+		if out, err = l.Apply(out, w.Sub[i]); err != nil {
+			return nil, err
+		}
+	}
+	shortcut := in
+	if len(ls) == 4 {
+		if shortcut, err = ls[3].Apply(in, w.Sub[3]); err != nil {
+			return nil, err
+		}
+	}
+	if err := tensor.AddInPlace(out, shortcut); err != nil {
+		return nil, fmt.Errorf("cnn: bottleneck %s residual: %w", b.LayerName, err)
+	}
+	return tensor.ReLU(out), nil
+}
+
+// residualBranchGain scales the expand convolution's batch-norm gain at
+// initialization. Keeping the residual branch small (SkipInit/Fixup style)
+// makes a randomly initialized deep residual network near-identity, so its
+// activations neither blow up nor wash out the input signal — essential for
+// feature transfer from seeded-random weights.
+const residualBranchGain = 0.25
+
+// InitWeights implements Layer.
+func (b *Bottleneck) InitWeights(in tensor.Shape, rng *rand.Rand) (*LayerWeights, error) {
+	ls, err := b.sublayers(in)
+	if err != nil {
+		return nil, err
+	}
+	w := &LayerWeights{Sub: make([]*LayerWeights, len(ls))}
+	s := in
+	for i, l := range ls {
+		shapeIn := s
+		if i == 3 {
+			shapeIn = in
+		}
+		sw, err := l.InitWeights(shapeIn, rng)
+		if err != nil {
+			return nil, err
+		}
+		w.Sub[i] = sw
+		if i < 3 {
+			if s, err = l.OutShape(s); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for i := range w.Sub[2].Gamma {
+		w.Sub[2].Gamma[i] = residualBranchGain
+	}
+	return w, nil
+}

@@ -1,0 +1,237 @@
+package cnn
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// FeatureGrid is the spatial grid convolutional feature layers are max-pooled
+// down to before flattening (Section 5, footnote 4: "reduce the feature
+// tensor to a 2x2 grid of the same depth").
+const FeatureGrid = 2
+
+// FeatureLayer marks one transfer point in a model: the output of
+// Layers[LayerIndex] is a feature layer users may transfer.
+type FeatureLayer struct {
+	// Name is the layer label used in the paper (e.g. "conv5", "fc7").
+	Name string
+	// LayerIndex is the index into Model.Layers whose output is this
+	// feature layer.
+	LayerIndex int
+}
+
+// Model is a CNN per Definition 3.4: a chain of TensorOps f(·) ≡
+// f_nl(...f_2(f_1(·))...), plus the model's roster metadata — its input shape
+// and its transferable feature layers ordered bottom-to-top.
+type Model struct {
+	// Name is the roster name, e.g. "resnet50".
+	Name string
+	// InputShape is the CHW image-tensor shape the model expects.
+	InputShape tensor.Shape
+	// Layers is the layer chain, input to output.
+	Layers []Layer
+	// FeatureLayers lists the transferable layers bottom-to-top; the
+	// paper's set L is a suffix of this list (the |L| top-most entries).
+	FeatureLayers []FeatureLayer
+}
+
+// ErrNoSuchLayer indicates a feature-layer lookup failure.
+var ErrNoSuchLayer = errors.New("cnn: no such feature layer")
+
+// NumLayers returns nl, the number of layers in the chain.
+func (m *Model) NumLayers() int { return len(m.Layers) }
+
+// ShapeAt returns the output shape of Layers[idx] (idx == -1 returns the
+// input shape). It walks the chain from the input, validating compatibility.
+func (m *Model) ShapeAt(idx int) (tensor.Shape, error) {
+	if idx < -1 || idx >= len(m.Layers) {
+		return nil, fmt.Errorf("cnn: layer index %d out of range [−1,%d)", idx, len(m.Layers))
+	}
+	s := m.InputShape
+	for i := 0; i <= idx; i++ {
+		next, err := m.Layers[i].OutShape(s)
+		if err != nil {
+			return nil, fmt.Errorf("cnn: %s layer %d (%s): %w", m.Name, i, m.Layers[i].Name(), err)
+		}
+		s = next
+	}
+	return s, nil
+}
+
+// FeatureLayerIndex returns the position of the named feature layer within
+// FeatureLayers, or ErrNoSuchLayer.
+func (m *Model) FeatureLayerIndex(name string) (int, error) {
+	for i, fl := range m.FeatureLayers {
+		if fl.Name == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: %q in model %s", ErrNoSuchLayer, name, m.Name)
+}
+
+// TopFeatureLayers returns the k top-most feature layers in bottom-to-top
+// order — the paper's L when the user asks for |L| = k layers "starting from
+// the top most layer" (Section 3.3).
+func (m *Model) TopFeatureLayers(k int) ([]FeatureLayer, error) {
+	if k <= 0 || k > len(m.FeatureLayers) {
+		return nil, fmt.Errorf("cnn: model %s has %d feature layers; requested %d",
+			m.Name, len(m.FeatureLayers), k)
+	}
+	return m.FeatureLayers[len(m.FeatureLayers)-k:], nil
+}
+
+// TotalParams returns the model's total parameter count, derived by walking
+// the layer chain.
+func (m *Model) TotalParams() (int64, error) {
+	var total int64
+	s := m.InputShape
+	for i, l := range m.Layers {
+		total += l.Params(s)
+		next, err := l.OutShape(s)
+		if err != nil {
+			return 0, fmt.Errorf("cnn: %s layer %d (%s): %w", m.Name, i, l.Name(), err)
+		}
+		s = next
+	}
+	return total, nil
+}
+
+// TotalFLOPs returns the FLOPs of one full inference f(t).
+func (m *Model) TotalFLOPs() (int64, error) {
+	return m.PartialFLOPs(0, len(m.Layers)-1)
+}
+
+// PartialFLOPs returns the FLOPs of partial inference f̂_{from→to}
+// (inclusive layer range, Definition 3.7).
+func (m *Model) PartialFLOPs(from, to int) (int64, error) {
+	if from < 0 || to >= len(m.Layers) || from > to {
+		return 0, fmt.Errorf("cnn: invalid layer range [%d,%d] for %s", from, to, m.Name)
+	}
+	s, err := m.ShapeAt(from - 1)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for i := from; i <= to; i++ {
+		total += m.Layers[i].FLOPs(s)
+		if s, err = m.Layers[i].OutShape(s); err != nil {
+			return 0, err
+		}
+	}
+	return total, nil
+}
+
+// Weights holds a model's realized parameters, one entry per layer.
+type Weights struct {
+	Layers []*LayerWeights
+}
+
+// SizeBytes returns the total in-memory payload of the realized weights.
+func (w *Weights) SizeBytes() int64 {
+	var n int64
+	for _, lw := range w.Layers {
+		n += lw.SizeBytes()
+	}
+	return n
+}
+
+// MaxRealizableParams guards against accidentally materializing a full-scale
+// model's weights in-process (e.g. VGG16's 138 M parameters). Roster models
+// above this limit serve only as sources of shape/FLOP/footprint statistics;
+// their Tiny* counterparts are used for real execution.
+const MaxRealizableParams = 64 << 20
+
+// RealizeWeights draws deterministic pseudo-random weights for every layer.
+// The per-layer RNG is seeded from (seed, layer index), so any contiguous
+// partial realization is consistent with the full one.
+func (m *Model) RealizeWeights(seed int64) (*Weights, error) {
+	params, err := m.TotalParams()
+	if err != nil {
+		return nil, err
+	}
+	if params > MaxRealizableParams {
+		return nil, fmt.Errorf("cnn: model %s has %d parameters, above the realization limit %d; use its Tiny variant for real execution",
+			m.Name, params, int64(MaxRealizableParams))
+	}
+	w := &Weights{Layers: make([]*LayerWeights, len(m.Layers))}
+	s := m.InputShape
+	for i, l := range m.Layers {
+		rng := rand.New(rand.NewSource(seed*1000003 + int64(i)))
+		lw, err := l.InitWeights(s, rng)
+		if err != nil {
+			return nil, fmt.Errorf("cnn: %s layer %d (%s): %w", m.Name, i, l.Name(), err)
+		}
+		w.Layers[i] = lw
+		if s, err = l.OutShape(s); err != nil {
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+// Infer computes full CNN inference f(t) (Definition 3.6).
+func (m *Model) Infer(w *Weights, in *tensor.Tensor) (*tensor.Tensor, error) {
+	return m.PartialInfer(w, in, 0, len(m.Layers)-1)
+}
+
+// PartialInfer computes partial CNN inference f̂_{from→to} (Definition 3.7):
+// it applies Layers[from..to] (inclusive) to in, which must be
+// shape-compatible with Layers[from].
+func (m *Model) PartialInfer(w *Weights, in *tensor.Tensor, from, to int) (*tensor.Tensor, error) {
+	if from < 0 || to >= len(m.Layers) || from > to {
+		return nil, fmt.Errorf("cnn: invalid layer range [%d,%d] for %s", from, to, m.Name)
+	}
+	if w == nil || len(w.Layers) != len(m.Layers) {
+		return nil, fmt.Errorf("cnn: weights not realized for model %s", m.Name)
+	}
+	t := in
+	var err error
+	for i := from; i <= to; i++ {
+		if t, err = m.Layers[i].Apply(t, w.Layers[i]); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// FeatureVector applies g_l ∘ f̂_l to a raw feature tensor that was produced
+// at feature layer fl: convolutional (CHW) outputs are grid-max-pooled to a
+// FeatureGrid×FeatureGrid grid and flattened; vector outputs pass through.
+// This is the paper's g_l FlattenOp with the standard pre-pooling.
+func FeatureVector(raw *tensor.Tensor) (*tensor.Tensor, error) {
+	if len(raw.Shape()) == 3 {
+		pooled, err := tensor.GridMaxPool(raw, FeatureGrid)
+		if err != nil {
+			return nil, err
+		}
+		return pooled.Flatten(), nil
+	}
+	return raw.Flatten(), nil
+}
+
+// FeatureDim returns the length of the flattened (post-pooling) feature
+// vector for the given feature layer.
+func (m *Model) FeatureDim(fl FeatureLayer) (int, error) {
+	s, err := m.ShapeAt(fl.LayerIndex)
+	if err != nil {
+		return 0, err
+	}
+	if len(s) == 3 {
+		s = tensor.GridPooledShape(s, FeatureGrid)
+	}
+	return s.NumElements(), nil
+}
+
+// RawFeatureSize returns the unpooled feature-layer payload in bytes — the
+// quantity that drives the paper's intermediate-data blow-up analysis
+// (Section 1.1: "10GB of data blows up to 560GB for just one layer").
+func (m *Model) RawFeatureSize(fl FeatureLayer) (int64, error) {
+	s, err := m.ShapeAt(fl.LayerIndex)
+	if err != nil {
+		return 0, err
+	}
+	return int64(s.NumElements()) * 4, nil
+}

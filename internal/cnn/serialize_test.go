@@ -1,0 +1,79 @@
+package cnn
+
+import (
+	"testing"
+)
+
+func TestSerializeWeightsRoundTrip(t *testing.T) {
+	for _, name := range []string{"tiny-alexnet", "tiny-resnet50", "tiny-densenet"} {
+		t.Run(name, func(t *testing.T) {
+			m, err := ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w, err := m.RealizeWeights(9)
+			if err != nil {
+				t.Fatal(err)
+			}
+			blob, err := SerializeWeights(w)
+			if err != nil {
+				t.Fatalf("SerializeWeights: %v", err)
+			}
+			got, err := DeserializeWeights(blob)
+			if err != nil {
+				t.Fatalf("DeserializeWeights: %v", err)
+			}
+			if got.SizeBytes() != w.SizeBytes() {
+				t.Fatalf("payload %d vs %d", got.SizeBytes(), w.SizeBytes())
+			}
+			// Inference through the round-tripped weights is identical.
+			img := randImage(m, 4)
+			a, err := m.Infer(w, img.Clone())
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := m.Infer(got, img.Clone())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range a.Data() {
+				if a.Data()[i] != b.Data()[i] {
+					t.Fatalf("inference differs at %d", i)
+				}
+			}
+		})
+	}
+}
+
+func TestSerializeWeightsCompresses(t *testing.T) {
+	m := TinyVGG16()
+	w, err := m.RealizeWeights(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := SerializeWeights(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(blob)) >= w.SizeBytes() {
+		t.Errorf("checkpoint %d B not below raw payload %d B", len(blob), w.SizeBytes())
+	}
+}
+
+func TestDeserializeWeightsCorruption(t *testing.T) {
+	m := TinyAlexNet()
+	w, err := m.RealizeWeights(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := SerializeWeights(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DeserializeWeights(blob[:len(blob)/3]); err == nil {
+		t.Error("truncated checkpoint accepted")
+	}
+	if _, err := DeserializeWeights([]byte{1, 2, 3}); err == nil {
+		t.Error("garbage accepted")
+	}
+}

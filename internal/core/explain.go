@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cnn"
+	"repro/internal/memory"
+	"repro/internal/optimizer"
+	"repro/internal/plan"
+)
+
+// Explanation describes what Vista *would* do for a spec without executing
+// anything: the optimizer's decision, the compiled plan, and the
+// intermediate-size analysis behind the memory choices — an EXPLAIN for
+// feature-transfer workloads.
+type Explanation struct {
+	Decision optimizer.Decision
+	Plan     *plan.Plan
+	// TableSizes are the Equation 16 estimates per selected layer,
+	// bottom-to-top.
+	TableSizes []int64
+	// SSingle and SDouble are the Equations 5–6 peaks.
+	SSingle, SDouble int64
+	// Infeasible is set (and Decision zero) when Algorithm 1 finds no
+	// configuration; the workload needs more memory.
+	Infeasible error
+}
+
+// Explain plans a spec without running it.
+func Explain(spec Spec) (*Explanation, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	model, err := cnn.ByName(spec.ModelName)
+	if err != nil {
+		return nil, err
+	}
+	stats, err := cnn.ComputeStats(model)
+	if err != nil {
+		return nil, err
+	}
+	compiled, err := plan.CompileFromStats(spec.PlanKind, spec.Placement, stats, spec.NumLayers,
+		plan.Options{PreMaterializeBase: spec.PreMaterializeBase})
+	if err != nil {
+		return nil, err
+	}
+	in, err := optimizerInputs(spec, stats)
+	if err != nil {
+		return nil, err
+	}
+	sizes, sSingle, sDouble, err := optimizer.IntermediateSizes(in, spec.params())
+	if err != nil {
+		return nil, err
+	}
+	ex := &Explanation{Plan: compiled, TableSizes: sizes, SSingle: sSingle, SDouble: sDouble}
+	d, err := optimizer.Optimize(in, spec.params())
+	if err != nil {
+		ex.Infeasible = err
+		return ex, nil
+	}
+	ex.Decision = d
+	return ex, nil
+}
+
+// Render prints the explanation as a human-readable report.
+func (e *Explanation) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Plan: %s (%d inference stage(s), %.2f GFLOPs/example)\n",
+		e.Plan.Name(), len(e.Plan.Steps), float64(e.Plan.TotalInferenceFLOPs())/1e9)
+	for i, l := range e.Plan.Layers {
+		fmt.Fprintf(&b, "  T%d %-9s est. %s\n", i+1, l.Name, memory.FormatBytes(e.TableSizes[i]))
+	}
+	fmt.Fprintf(&b, "Peaks: s_single=%s s_double=%s\n",
+		memory.FormatBytes(e.SSingle), memory.FormatBytes(e.SDouble))
+	if e.Infeasible != nil {
+		fmt.Fprintf(&b, "Decision: INFEASIBLE — %v\n", e.Infeasible)
+		return b.String()
+	}
+	d := e.Decision
+	fmt.Fprintf(&b, "Decision: cpu=%d np=%d join=%v pers=%v\n", d.CPU, d.NP, d.Join, d.Pers)
+	fmt.Fprintf(&b, "Memory:   dl=%s user=%s storage=%s\n",
+		memory.FormatBytes(d.MemDL), memory.FormatBytes(d.MemUser), memory.FormatBytes(d.MemStorage))
+	return b.String()
+}
+
+// optimizerInputs assembles the Algorithm 1 inputs for a spec (shared by Run
+// and Explain).
+func optimizerInputs(spec Spec, stats *cnn.Stats) (optimizer.Inputs, error) {
+	layers, err := stats.TopLayerStats(spec.NumLayers)
+	if err != nil {
+		return optimizer.Inputs{}, err
+	}
+	structDim := len(spec.StructRows[0].Structured)
+	maxDim := structDim
+	for _, l := range layers {
+		if l.FeatureDim+structDim > maxDim {
+			maxDim = l.FeatureDim + structDim
+		}
+	}
+	in := optimizer.Inputs{
+		ModelStats:    stats,
+		NumLayers:     spec.NumLayers,
+		NumRows:       len(spec.StructRows),
+		StructDim:     structDim,
+		ImageRowBytes: avgImageBytes(spec.ImageRows),
+		NNodes:        spec.Nodes,
+		MemSys:        spec.MemPerNode,
+		MemGPU:        spec.GPUMemPerNode,
+		CPUSys:        spec.CoresPerNode,
+	}
+	switch spec.Downstream.Kind {
+	case MLP:
+		in.Placement = optimizer.MInDLMemory
+		in.DownstreamMemBytes = optimizer.MLPMemBytes(maxDim, spec.Downstream.MLP.Hidden)
+	default:
+		in.Placement = optimizer.MInPDUserMemory
+		in.DownstreamMemBytes = optimizer.LogRegMemBytes(maxDim)
+	}
+	return in, nil
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/memory"
+)
+
+func TestExplainMatchesRun(t *testing.T) {
+	spec := tinySpec(t, 60)
+	ex, err := Explain(spec)
+	if err != nil {
+		t.Fatalf("Explain: %v", err)
+	}
+	if ex.Infeasible != nil {
+		t.Fatalf("unexpectedly infeasible: %v", ex.Infeasible)
+	}
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if ex.Decision != res.Decision {
+		t.Errorf("Explain decision %+v differs from Run's %+v", ex.Decision, res.Decision)
+	}
+	if ex.Plan.Name() != res.Plan.Name() || len(ex.Plan.Steps) != len(res.Plan.Steps) {
+		t.Error("Explain plan differs from Run's")
+	}
+	if len(ex.TableSizes) != spec.NumLayers {
+		t.Errorf("table sizes = %d, want %d", len(ex.TableSizes), spec.NumLayers)
+	}
+	if ex.SSingle <= 0 || ex.SDouble <= 0 {
+		t.Error("peak sizes missing")
+	}
+	out := ex.Render()
+	for _, want := range []string{"Staged/AJ", "Decision:", "cpu=", "s_single"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestExplainInfeasible(t *testing.T) {
+	spec := tinySpec(t, 60)
+	spec.ModelName = "tiny-vgg16"
+	spec.MemPerNode = memory.MB(8) // smaller than OS reservation
+	ex, err := Explain(spec)
+	if err != nil {
+		t.Fatalf("Explain: %v", err)
+	}
+	if ex.Infeasible == nil {
+		t.Fatal("8 MB node reported feasible")
+	}
+	if !strings.Contains(ex.Render(), "INFEASIBLE") {
+		t.Error("render should flag infeasibility")
+	}
+}
+
+func TestExplainValidatesSpec(t *testing.T) {
+	spec := tinySpec(t, 10)
+	spec.ModelName = "nope"
+	if _, err := Explain(spec); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}

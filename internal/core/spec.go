@@ -1,0 +1,192 @@
+// Package core implements Vista itself: the declarative feature-transfer API
+// of Section 3.3. A Spec says *what* to run — the system environment, the
+// roster CNN f and the number of feature layers |L| to explore, the
+// downstream ML routine M, and the data tables with their statistics — and
+// Run decides *how*: it invokes the optimizer (Section 4.3) for the logical
+// plan's configuration, provisions the dataflow engine and DL session,
+// executes the Staged plan (or an explicitly requested alternative, for
+// experiments), and trains M on every selected layer.
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/cnn"
+	"repro/internal/dataflow"
+	"repro/internal/memory"
+	"repro/internal/ml"
+	"repro/internal/optimizer"
+	"repro/internal/plan"
+)
+
+// DownstreamKind selects the downstream model M.
+type DownstreamKind int
+
+// Downstream model kinds.
+const (
+	// LogisticRegression is the paper's primary M (MLlib-style,
+	// distributed full-batch gradient descent).
+	LogisticRegression DownstreamKind = iota
+	// DecisionTree is the CART alternative of Section 5.2.
+	DecisionTree
+	// MLP is the neural downstream model of the TFT+Beam comparison.
+	MLP
+)
+
+// String implements fmt.Stringer.
+func (k DownstreamKind) String() string {
+	switch k {
+	case LogisticRegression:
+		return "logistic-regression"
+	case DecisionTree:
+		return "decision-tree"
+	case MLP:
+		return "mlp"
+	}
+	return fmt.Sprintf("downstream(%d)", int(k))
+}
+
+// DownstreamSpec configures M.
+type DownstreamSpec struct {
+	Kind   DownstreamKind
+	LogReg ml.LogRegConfig
+	Tree   ml.TreeConfig
+	MLP    ml.MLPConfig
+	// TestFraction, when positive, holds out that fraction of rows (by ID
+	// hash) for evaluation; metrics are reported on both splits.
+	TestFraction float64
+}
+
+// DefaultDownstream returns the paper's Section 5 settings: logistic
+// regression, 10 iterations, elastic net α = 0.5, λ = 0.01, 20% test split.
+func DefaultDownstream() DownstreamSpec {
+	return DownstreamSpec{
+		Kind:         LogisticRegression,
+		LogReg:       ml.DefaultLogRegConfig(),
+		Tree:         ml.DefaultTreeConfig(),
+		MLP:          ml.DefaultMLPConfig(),
+		TestFraction: 0.2,
+	}
+}
+
+// Spec is Vista's declarative input (Figure 13 / Section 3.3's four input
+// groups).
+type Spec struct {
+	// — Group 1: system environment —
+	Nodes        int
+	CoresPerNode int
+	MemPerNode   int64
+	// GPUMemPerNode is per-worker accelerator memory (0 = CPU only).
+	GPUMemPerNode int64
+	// SystemKind selects Spark-like or Ignite-like PD semantics.
+	SystemKind memory.SystemKind
+
+	// — Group 2: CNN and layers —
+	// ModelName is a roster name; real execution requires an executable
+	// (Tiny*) model.
+	ModelName string
+	// NumLayers is |L|, counted from the top-most feature layer.
+	NumLayers int
+
+	// — Group 3: downstream ML routine —
+	Downstream DownstreamSpec
+
+	// — Group 4: data and statistics —
+	StructRows []dataflow.Row
+	ImageRows  []dataflow.Row
+
+	// Seed drives CNN weight realization.
+	Seed int64
+
+	// — Experiment overrides (default zero values = Vista's choices) —
+	// PlanKind/Placement force a logical plan; Vista's default is
+	// Staged/AJ (Section 4.2.1: "it suffices for Vista to only use our new
+	// Staged plan"; Section 5.3 validates Staged/AJ).
+	PlanKind  plan.Kind
+	Placement plan.JoinPlacement
+	// PreMaterializeBase enables the Appendix B variant.
+	PreMaterializeBase bool
+	// Decision, when non-nil, bypasses the optimizer (baseline configs).
+	Decision *optimizer.Decision
+	// Params, when non-nil, overrides the Table 1(C) fixed-but-adjustable
+	// system parameters (OS reservation, Core Memory, partition caps, α).
+	Params *optimizer.Params
+	// SpillDir overrides the engine's spill directory (tests).
+	SpillDir string
+}
+
+// params returns the effective Table 1(C) parameters.
+func (s *Spec) params() optimizer.Params {
+	if s.Params != nil {
+		return *s.Params
+	}
+	return optimizer.DefaultParams()
+}
+
+// Validate checks the spec before execution.
+func (s *Spec) Validate() error {
+	switch {
+	case s.Nodes <= 0 || s.CoresPerNode <= 0:
+		return fmt.Errorf("core: need positive nodes/cores, got %d/%d", s.Nodes, s.CoresPerNode)
+	case s.MemPerNode <= 0:
+		return fmt.Errorf("core: need positive worker memory")
+	case s.NumLayers <= 0:
+		return fmt.Errorf("core: need at least one feature layer")
+	case len(s.StructRows) == 0 || len(s.ImageRows) == 0:
+		return fmt.Errorf("core: both Tstr and Timg must be non-empty")
+	case len(s.StructRows) != len(s.ImageRows):
+		return fmt.Errorf("core: Tstr has %d rows, Timg has %d", len(s.StructRows), len(s.ImageRows))
+	}
+	if _, err := cnn.ByName(s.ModelName); err != nil {
+		return err
+	}
+	return nil
+}
+
+// LayerResult is one trained downstream model with its evaluation.
+type LayerResult struct {
+	// LayerName is the feature layer's roster label.
+	LayerName string
+	// FeatureDim is the flattened feature-vector length.
+	FeatureDim int
+	// Model is the trained downstream model.
+	Model ml.Model
+	// Train and Test are metrics on the respective splits (Test.N == 0
+	// when TestFraction is 0).
+	Train, Test ml.Metrics
+}
+
+// StageTiming is one timed phase of a run — the real-engine analogue of the
+// paper's Table 3 breakdown.
+type StageTiming struct {
+	// Label identifies the phase: "ingest", "join", "infer:<layer>",
+	// "train:<layer>", or "premat:<layer>".
+	Label   string
+	Elapsed time.Duration
+}
+
+// Result is the output of one feature-transfer run: |L| trained models, the
+// configuration Vista chose, and the run's instrumentation.
+type Result struct {
+	Decision optimizer.Decision
+	Plan     *plan.Plan
+	Layers   []LayerResult
+	Counters dataflow.Snapshot
+	Elapsed  time.Duration
+	// Timings is the per-phase breakdown, in execution order.
+	Timings []StageTiming
+}
+
+// TimingFor sums the elapsed time of all phases whose label has the given
+// prefix (e.g. "train:" for all downstream training).
+func (r *Result) TimingFor(prefix string) time.Duration {
+	var total time.Duration
+	for _, t := range r.Timings {
+		if strings.HasPrefix(t.Label, prefix) {
+			total += t.Elapsed
+		}
+	}
+	return total
+}

@@ -1,0 +1,183 @@
+package data
+
+import (
+	"bytes"
+	"fmt"
+	"image"
+	"image/color"
+	"image/jpeg"
+	"image/png"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// testPNG renders a w×h image with a red left half and blue right half.
+func testPNG(t *testing.T, w, h int) []byte {
+	t.Helper()
+	img := image.NewRGBA(image.Rect(0, 0, w, h))
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x < w/2 {
+				img.Set(x, y, color.RGBA{R: 255, A: 255})
+			} else {
+				img.Set(x, y, color.RGBA{B: 255, A: 255})
+			}
+		}
+	}
+	var b bytes.Buffer
+	if err := png.Encode(&b, img); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+func TestDecodeImagePNG(t *testing.T) {
+	blob := testPNG(t, 40, 20)
+	got, err := DecodeImage(bytes.NewReader(blob), 16)
+	if err != nil {
+		t.Fatalf("DecodeImage: %v", err)
+	}
+	if !got.Shape().Equal(tensor.Shape{3, 16, 16}) {
+		t.Fatalf("shape = %v, want (3,16,16)", got.Shape())
+	}
+	// Left half red, right half blue; values in [0,1].
+	if got.At(0, 8, 2) < 0.9 || got.At(2, 8, 2) > 0.1 {
+		t.Errorf("left half not red: R=%v B=%v", got.At(0, 8, 2), got.At(2, 8, 2))
+	}
+	if got.At(2, 8, 13) < 0.9 || got.At(0, 8, 13) > 0.1 {
+		t.Errorf("right half not blue: R=%v B=%v", got.At(0, 8, 13), got.At(2, 8, 13))
+	}
+	for _, v := range got.Data() {
+		if v < 0 || v > 1 {
+			t.Fatalf("value %v outside [0,1]", v)
+		}
+	}
+}
+
+func TestDecodeImageJPEG(t *testing.T) {
+	img := image.NewRGBA(image.Rect(0, 0, 12, 12))
+	for y := 0; y < 12; y++ {
+		for x := 0; x < 12; x++ {
+			img.Set(x, y, color.RGBA{R: 128, G: 128, B: 128, A: 255})
+		}
+	}
+	var b bytes.Buffer
+	if err := jpeg.Encode(&b, img, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeImage(bytes.NewReader(b.Bytes()), 8)
+	if err != nil {
+		t.Fatalf("DecodeImage jpeg: %v", err)
+	}
+	// Uniform gray survives JPEG and resize, within compression tolerance.
+	for _, v := range got.Data() {
+		if v < 0.4 || v > 0.6 {
+			t.Fatalf("gray value %v outside [0.4, 0.6]", v)
+		}
+	}
+}
+
+func TestDecodeImageErrors(t *testing.T) {
+	if _, err := DecodeImage(bytes.NewReader([]byte("not an image")), 16); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := DecodeImage(bytes.NewReader(testPNG(t, 4, 4)), 0); err == nil {
+		t.Error("zero size accepted")
+	}
+}
+
+func TestLoadImageDir(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"3.png", "1.png", "notes.txt"} {
+		path := filepath.Join(dir, name)
+		var payload []byte
+		if filepath.Ext(name) == ".png" {
+			payload = testPNG(t, 8, 8)
+		} else {
+			payload = []byte("ignore me")
+		}
+		if err := os.WriteFile(path, payload, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rows, err := LoadImageDir(dir, 8)
+	if err != nil {
+		t.Fatalf("LoadImageDir: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("loaded %d rows, want 2 (txt skipped)", len(rows))
+	}
+	// Numeric stems become IDs (sorted by filename: 1.png, 3.png).
+	if rows[0].ID != 1 || rows[1].ID != 3 {
+		t.Errorf("IDs = %d, %d; want 1, 3", rows[0].ID, rows[1].ID)
+	}
+	// Payloads decode back to tensors of the requested size.
+	img, err := tensor.Decode(rows[0].Image)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !img.Shape().Equal(tensor.Shape{3, 8, 8}) {
+		t.Errorf("decoded shape = %v", img.Shape())
+	}
+}
+
+func TestLoadImageDirNonNumericNames(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"cat.png", "dog.png"} {
+		if err := os.WriteFile(filepath.Join(dir, name), testPNG(t, 4, 4), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rows, err := LoadImageDir(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].ID != 0 || rows[1].ID != 1 {
+		t.Errorf("sequential IDs expected, got %d, %d", rows[0].ID, rows[1].ID)
+	}
+}
+
+func TestLoadImageDirErrors(t *testing.T) {
+	if _, err := LoadImageDir(t.TempDir(), 8); err == nil {
+		t.Error("empty dir accepted")
+	}
+	if _, err := LoadImageDir("/nonexistent-dir", 8); err == nil {
+		t.Error("missing dir accepted")
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "bad.png"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadImageDir(dir, 8); err == nil {
+		t.Error("corrupt image accepted")
+	}
+}
+
+func TestRealImagePipelineEndToEnd(t *testing.T) {
+	// Real PNGs flow through the DL bridge: decode → resize → encode →
+	// inference produces finite features.
+	dir := t.TempDir()
+	for i := 0; i < 4; i++ {
+		name := filepath.Join(dir, fmt.Sprintf("%d.png", i))
+		if err := os.WriteFile(name, testPNG(t, 32, 24), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rows, err := LoadImageDir(dir, 64) // TinyInputSize
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	img, err := tensor.Decode(rows[0].Image)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !img.Shape().Equal(tensor.Shape{3, 64, 64}) {
+		t.Fatalf("shape = %v", img.Shape())
+	}
+}

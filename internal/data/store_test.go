@@ -1,0 +1,125 @@
+package data
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	spec := Foods().WithRows(25)
+	spec.ImageSize = 16
+	s, imgs, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(dir, s, imgs); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	// One file per image — the small-files layout.
+	entries, err := os.ReadDir(filepath.Join(dir, "images"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 25 {
+		t.Fatalf("got %d image files, want 25", len(entries))
+	}
+	s2, imgs2, err := Load(dir)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(s2) != 25 || len(imgs2) != 25 {
+		t.Fatalf("loaded %d/%d rows", len(s2), len(imgs2))
+	}
+	for i := range s {
+		if s[i].ID != s2[i].ID || s[i].Label != s2[i].Label {
+			t.Fatalf("row %d id/label mismatch", i)
+		}
+		if !reflect.DeepEqual(s[i].Structured, s2[i].Structured) {
+			t.Fatalf("row %d structured mismatch", i)
+		}
+		if !reflect.DeepEqual(imgs[i].Image, imgs2[i].Image) {
+			t.Fatalf("row %d image payload mismatch", i)
+		}
+	}
+}
+
+func TestSaveValidation(t *testing.T) {
+	dir := t.TempDir()
+	spec := Foods().WithRows(4)
+	spec.ImageSize = 8
+	s, imgs, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(dir, s, imgs[:3]); err == nil {
+		t.Error("mismatched row counts accepted")
+	}
+	imgs[0].ID = 999
+	if err := Save(dir, s, imgs); err == nil {
+		t.Error("misaligned IDs accepted")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, _, err := Load(t.TempDir()); err == nil {
+		t.Error("loading an empty dir succeeded")
+	}
+	// Corrupt CSV.
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, "images"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "structured.csv"), []byte("not,a,valid,row\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Load(dir); err == nil {
+		t.Error("corrupt csv accepted")
+	}
+	// Valid CSV but missing image file.
+	if err := os.WriteFile(filepath.Join(dir, "structured.csv"), []byte("1,1,0.5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Load(dir); err == nil {
+		t.Error("missing image accepted")
+	}
+	// Garbage image filename.
+	if err := os.WriteFile(filepath.Join(dir, "images", "abc.img"), []byte{1}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Load(dir); err == nil {
+		t.Error("bad image filename accepted")
+	}
+}
+
+func TestParseStructRow(t *testing.T) {
+	row, err := parseStructRow("7,1,0.5,-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.ID != 7 || row.Label != 1 || len(row.Structured) != 2 || row.Structured[1] != -2 {
+		t.Errorf("parsed %+v", row)
+	}
+	if _, err := parseStructRow("7"); err == nil {
+		t.Error("short line accepted")
+	}
+	if _, err := parseStructRow("x,1"); err == nil {
+		t.Error("bad id accepted")
+	}
+	if _, err := parseStructRow("1,y"); err == nil {
+		t.Error("bad label accepted")
+	}
+	if _, err := parseStructRow("1,1,z"); err == nil {
+		t.Error("bad feature accepted")
+	}
+	// Label-only row (no features) round-trips.
+	row, err = parseStructRow("3,0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Structured != nil {
+		t.Error("feature-less row should have nil features")
+	}
+}

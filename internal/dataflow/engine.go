@@ -1,0 +1,198 @@
+package dataflow
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"repro/internal/memory"
+)
+
+// Config describes the (simulated) cluster an Engine runs on: the worker
+// count, per-worker core slots, the memory apportionment chosen by the Vista
+// optimizer (or a baseline), and the PD system's memory-model kind.
+type Config struct {
+	// Nodes is the number of worker nodes.
+	Nodes int
+	// CoresPerNode is the degree of parallelism per worker (Table 1: cpu).
+	CoresPerNode int
+	// Kind selects Spark-like (spillable) or Ignite-like (memory-only)
+	// storage behavior.
+	Kind memory.SystemKind
+	// Apportion is the per-worker memory apportionment.
+	Apportion memory.Apportionment
+	// DriverMemory bounds the driver's collect buffers (crash scenario 4).
+	DriverMemory int64
+	// SpillDir is where spill files go; empty means a fresh temp dir.
+	SpillDir string
+	// DefaultFormat is the persistence format for cached partitions
+	// (Table 1(B): pers).
+	DefaultFormat PersistFormat
+}
+
+// Engine is the dataflow runtime: a driver plus Nodes workers, each with its
+// own memory pools, storage cache, and CoresPerNode execution slots.
+type Engine struct {
+	cfg      Config
+	nodes    []*node
+	driver   *memory.Pool
+	counters Counters
+	spillDir string
+	ownDir   bool
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// node is one worker: its memory pools, partition cache, and core slots.
+type node struct {
+	id      int
+	user    *memory.Pool
+	core    *memory.Pool
+	dl      *memory.Pool
+	storage *storageCache
+	slots   chan struct{}
+}
+
+// NewEngine validates cfg and builds the cluster.
+func NewEngine(cfg Config) (*Engine, error) {
+	if cfg.Nodes <= 0 || cfg.CoresPerNode <= 0 {
+		return nil, fmt.Errorf("dataflow: need positive nodes (%d) and cores (%d)", cfg.Nodes, cfg.CoresPerNode)
+	}
+	if cfg.DriverMemory <= 0 {
+		cfg.DriverMemory = memory.GB(4)
+	}
+	spillDir := cfg.SpillDir
+	ownDir := false
+	if spillDir == "" {
+		d, err := os.MkdirTemp("", "vista-spill-*")
+		if err != nil {
+			return nil, fmt.Errorf("dataflow: spill dir: %w", err)
+		}
+		spillDir = d
+		ownDir = true
+	}
+	e := &Engine{cfg: cfg, spillDir: spillDir, ownDir: ownDir}
+	e.driver = memory.NewPool(memory.User, memory.DriverOOM, cfg.DriverMemory)
+	for i := 0; i < cfg.Nodes; i++ {
+		n := &node{
+			id:    i,
+			user:  memory.NewPool(memory.User, memory.InsufficientUser, cfg.Apportion.User),
+			core:  memory.NewPool(memory.Core, memory.LargePartition, cfg.Apportion.Core),
+			dl:    memory.NewPool(memory.DLExecution, memory.DLBlowup, cfg.Apportion.DLExecution),
+			slots: make(chan struct{}, cfg.CoresPerNode),
+		}
+		n.storage = newStorageCache(n, e, cfg.Apportion.Storage)
+		for c := 0; c < cfg.CoresPerNode; c++ {
+			n.slots <- struct{}{}
+		}
+		e.nodes = append(e.nodes, n)
+	}
+	return e, nil
+}
+
+// Config returns the engine's configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Counters returns the engine's instrumentation counters.
+func (e *Engine) Counters() *Counters { return &e.counters }
+
+// DLPool returns worker nodeID's DL Execution Memory pool; the DL bridge
+// (internal/dl) charges model replicas against it.
+func (e *Engine) DLPool(nodeID int) *memory.Pool { return e.nodes[nodeID].dl }
+
+// UserPool returns worker nodeID's User Memory pool.
+func (e *Engine) UserPool(nodeID int) *memory.Pool { return e.nodes[nodeID].user }
+
+// DriverPool returns the driver's memory pool.
+func (e *Engine) DriverPool() *memory.Pool { return e.driver }
+
+// StorageUsed returns the total bytes currently cached across all nodes.
+func (e *Engine) StorageUsed() int64 {
+	var total int64
+	for _, n := range e.nodes {
+		total += n.storage.pool.Used()
+	}
+	return total
+}
+
+// Close releases spill files and (if owned) the spill directory.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	if e.ownDir {
+		return os.RemoveAll(e.spillDir)
+	}
+	return nil
+}
+
+// nodeFor maps a partition index to its owning worker.
+func (e *Engine) nodeFor(partIndex int) *node {
+	return e.nodes[partIndex%len(e.nodes)]
+}
+
+// TaskContext is handed to UDFs: it exposes the owning node's pools and the
+// engine counters so user code (CNN inference, downstream training)
+// participates in memory accounting and instrumentation.
+type TaskContext struct {
+	Engine *Engine
+	NodeID int
+	Part   int
+}
+
+// AllocUser charges n bytes of User Memory for the task's duration; the
+// caller must FreeUser. Failures surface crash scenario 2.
+func (tc *TaskContext) AllocUser(n int64, detail string) error {
+	return tc.Engine.nodes[tc.NodeID].user.Alloc(n, detail)
+}
+
+// FreeUser releases a prior AllocUser charge.
+func (tc *TaskContext) FreeUser(n int64) { tc.Engine.nodes[tc.NodeID].user.Free(n) }
+
+// AddFLOPs records floating-point work done by the UDF.
+func (tc *TaskContext) AddFLOPs(n int64) { tc.Engine.counters.FLOPs.Add(n) }
+
+// runTasks executes fn once per task, scheduling task i on node i%Nodes and
+// bounding concurrency by each node's core slots. The first error cancels
+// remaining tasks (already-started ones finish).
+func (e *Engine) runTasks(tasks int, fn func(tc *TaskContext) error) error {
+	if tasks == 0 {
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for i := 0; i < tasks; i++ {
+		n := e.nodeFor(i)
+		<-n.slots // acquire a core slot before spawning
+		mu.Lock()
+		stop := firstErr != nil
+		mu.Unlock()
+		if stop {
+			n.slots <- struct{}{}
+			break
+		}
+		wg.Add(1)
+		go func(taskIdx int, n *node) {
+			defer wg.Done()
+			defer func() { n.slots <- struct{}{} }()
+			e.counters.TasksRun.Add(1)
+			tc := &TaskContext{Engine: e, NodeID: n.id, Part: taskIdx}
+			if err := fn(tc); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(i, n)
+	}
+	wg.Wait()
+	return firstErr
+}

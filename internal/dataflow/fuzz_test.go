@@ -1,0 +1,43 @@
+package dataflow
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// FuzzDecodeRows hardens the Tungsten-style row codec against malformed
+// blobs: decoding must never panic, and every successful decode must
+// re-encode to an equivalent row set.
+func FuzzDecodeRows(f *testing.F) {
+	seedRows := [][]Row{
+		{{ID: 1, Label: 1, Structured: []float32{1, 2}, Image: []byte{3}}},
+		{{ID: 2, Features: tensor.NewTensorList(tensor.New(2, 2))}},
+		{},
+	}
+	for _, rows := range seedRows {
+		blob, err := EncodeRows(rows)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(blob)
+	}
+	f.Add([]byte{0, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		rows, err := DecodeRows(blob)
+		if err != nil {
+			return // malformed input is fine, panics are not
+		}
+		re, err := EncodeRows(rows)
+		if err != nil {
+			t.Fatalf("re-encode of decoded rows failed: %v", err)
+		}
+		again, err := DecodeRows(re)
+		if err != nil {
+			t.Fatalf("decode of re-encode failed: %v", err)
+		}
+		if len(again) != len(rows) {
+			t.Fatalf("row count changed: %d vs %d", len(again), len(rows))
+		}
+	})
+}

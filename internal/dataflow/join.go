@@ -1,0 +1,228 @@
+package dataflow
+
+import (
+	"fmt"
+
+	"repro/internal/memory"
+	"repro/internal/tensor"
+)
+
+// JoinKind selects the physical join operator (Section 4.2.3; Table 1(B):
+// join).
+type JoinKind int
+
+// Physical join operators.
+const (
+	// ShuffleJoin hashes both tables on the join key into shuffle blocks,
+	// sends each block to its worker, and joins locally.
+	ShuffleJoin JoinKind = iota
+	// BroadcastJoin replicates the smaller table to every worker and
+	// probes it with the outer table, avoiding shuffles.
+	BroadcastJoin
+)
+
+// String implements fmt.Stringer.
+func (k JoinKind) String() string {
+	if k == BroadcastJoin {
+		return "broadcast"
+	}
+	return "shuffle"
+}
+
+// mergeRows combines the payloads of a structured row and an image/feature
+// row sharing an ID: structured features from left, image and features from
+// right, label from whichever side carries one (left wins).
+func mergeRows(left, right *Row) Row {
+	out := Row{ID: left.ID, Label: left.Label, Structured: left.Structured}
+	if out.Structured == nil {
+		out.Structured = right.Structured
+	}
+	out.Image = right.Image
+	if out.Image == nil {
+		out.Image = left.Image
+	}
+	switch {
+	case left.Features != nil && right.Features != nil:
+		merged := tensor.NewTensorList()
+		for i := 0; i < left.Features.Len(); i++ {
+			merged.Append(left.Features.Get(i))
+		}
+		for i := 0; i < right.Features.Len(); i++ {
+			merged.Append(right.Features.Get(i))
+		}
+		out.Features = merged
+	case left.Features != nil:
+		out.Features = left.Features
+	default:
+		out.Features = right.Features
+	}
+	return out
+}
+
+// Join performs a key-key inner join of left and right on ID (the workload's
+// step (3): T' ← Tstr ⋈ T'img) using the chosen physical operator, producing
+// a new cached table partitioned like the left input for shuffle joins and
+// like the right input for broadcast joins.
+func (e *Engine) Join(name string, left, right *Table, kind JoinKind) (*Table, error) {
+	switch kind {
+	case ShuffleJoin:
+		return e.shuffleJoin(name, left, right)
+	case BroadcastJoin:
+		return e.broadcastJoin(name, left, right)
+	}
+	return nil, fmt.Errorf("dataflow: unknown join kind %d", int(kind))
+}
+
+// shuffleJoin aligns both tables to a common partitioning, then joins each
+// partition pair locally with a hash join whose build side is charged to
+// Core Memory (crash scenario 3 for oversized partitions).
+func (e *Engine) shuffleJoin(name string, left, right *Table) (*Table, error) {
+	np := left.NumPartitions()
+	r := right
+	if right.NumPartitions() != np {
+		// Both sides must agree on partitioning; re-shuffle the right side.
+		rp, err := e.Repartition(right.Name+".shuffled", right, np)
+		if err != nil {
+			return nil, err
+		}
+		defer rp.Drop()
+		r = rp
+	} else {
+		// Aligned hash partitioning still moves each side's blocks to the
+		// joining worker once in a real cluster; account the smaller side.
+		e.counters.BytesShuffled.Add(min64(left.MemBytes(), right.MemBytes()))
+	}
+
+	out := &Table{Name: name, engine: e, partitions: make([]*Partition, np)}
+	err := e.runTasks(np, func(tc *TaskContext) error {
+		node := e.nodeFor(tc.Part)
+		buildRows, err := node.storage.touch(r.partitions[tc.Part])
+		if err != nil {
+			return err
+		}
+		buildBytes := rowsMemBytes(buildRows)
+		if err := node.core.Alloc(buildBytes, fmt.Sprintf("hash-join build partition %d", tc.Part)); err != nil {
+			return err
+		}
+		defer node.core.Free(buildBytes)
+
+		build := make(map[int64]*Row, len(buildRows))
+		for i := range buildRows {
+			build[buildRows[i].ID] = &buildRows[i]
+		}
+		probeRows, err := node.storage.touch(left.partitions[tc.Part])
+		if err != nil {
+			return err
+		}
+		joined := make([]Row, 0, len(probeRows))
+		for i := range probeRows {
+			if match, ok := build[probeRows[i].ID]; ok {
+				joined = append(joined, mergeRows(&probeRows[i], match))
+			}
+		}
+		e.counters.RowsProcessed.Add(int64(len(probeRows)))
+		p := newPartition(tc.Part, joined)
+		if err := node.storage.add(p); err != nil {
+			return err
+		}
+		out.partitions[tc.Part] = p
+		return nil
+	})
+	if err != nil {
+		out.Drop()
+		return nil, err
+	}
+	return out, nil
+}
+
+// broadcastJoin replicates the left (smaller) table to every node — charging
+// each node's User Memory for the broadcast hash table — and probes it with
+// the right table's partitions locally. This reproduces the paper's
+// Figure 10 behavior: broadcast is faster at modest sizes but crashes as the
+// broadcast side grows.
+func (e *Engine) broadcastJoin(name string, small, large *Table) (*Table, error) {
+	rows, err := e.collectForBroadcast(small)
+	if err != nil {
+		return nil, err
+	}
+	bcastBytes := rowsMemBytes(rows)
+	// The driver serializes and ships the broadcast once per node.
+	e.counters.BytesBroadcast.Add(bcastBytes * int64(len(e.nodes)))
+
+	// Charge every node up front; release on completion.
+	charged := make([]*node, 0, len(e.nodes))
+	release := func() {
+		for _, n := range charged {
+			n.user.Free(bcastBytes)
+		}
+	}
+	for _, n := range e.nodes {
+		if err := n.user.Alloc(bcastBytes, fmt.Sprintf("broadcast %s (%s)", small.Name, memory.FormatBytes(bcastBytes))); err != nil {
+			release()
+			return nil, err
+		}
+		charged = append(charged, n)
+	}
+	defer release()
+
+	build := make(map[int64]*Row, len(rows))
+	for i := range rows {
+		build[rows[i].ID] = &rows[i]
+	}
+
+	out := &Table{Name: name, engine: e, partitions: make([]*Partition, large.NumPartitions())}
+	err = e.runTasks(large.NumPartitions(), func(tc *TaskContext) error {
+		node := e.nodeFor(tc.Part)
+		probeRows, err := node.storage.touch(large.partitions[tc.Part])
+		if err != nil {
+			return err
+		}
+		joined := make([]Row, 0, len(probeRows))
+		for i := range probeRows {
+			if match, ok := build[probeRows[i].ID]; ok {
+				joined = append(joined, mergeRows(match, &probeRows[i]))
+			}
+		}
+		e.counters.RowsProcessed.Add(int64(len(probeRows)))
+		p := newPartition(tc.Part, joined)
+		if err := node.storage.add(p); err != nil {
+			return err
+		}
+		out.partitions[tc.Part] = p
+		return nil
+	})
+	if err != nil {
+		out.Drop()
+		return nil, err
+	}
+	return out, nil
+}
+
+// collectForBroadcast gathers the broadcast side at the driver, charging
+// driver memory (a broadcast that kills the driver is crash scenario 4).
+func (e *Engine) collectForBroadcast(t *Table) ([]Row, error) {
+	var all []Row
+	var total int64
+	for _, p := range t.partitions {
+		rows, err := e.nodeFor(p.index).storage.touch(p)
+		if err != nil {
+			return nil, err
+		}
+		for i := range rows {
+			total += rows[i].MemBytes()
+		}
+		all = append(all, rows...)
+	}
+	if err := e.driver.Alloc(total, fmt.Sprintf("broadcast build of %s", t.Name)); err != nil {
+		return nil, err
+	}
+	e.driver.Free(total)
+	return all, nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,226 @@
+package dataflow
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+)
+
+// PersistFormat selects how a cached partition is held in Storage Memory
+// (Section 4.2.3): deserialized rows, or a compressed serialized blob that is
+// smaller but costs CPU to translate.
+type PersistFormat int
+
+// Persistence formats.
+const (
+	// Deserialized keeps live Row values.
+	Deserialized PersistFormat = iota
+	// Serialized keeps a flate-compressed binary blob.
+	Serialized
+)
+
+// String implements fmt.Stringer.
+func (f PersistFormat) String() string {
+	if f == Serialized {
+		return "serialized"
+	}
+	return "deserialized"
+}
+
+var partitionIDs atomic.Int64
+
+// Partition is one horizontal slice of a table. Its contents live in exactly
+// one of three states: deserialized rows, a serialized blob, or a spill file
+// on disk.
+type Partition struct {
+	id    int64
+	index int // position within the table
+
+	mu        sync.Mutex
+	rows      []Row
+	blob      []byte
+	spillPath string
+	format    PersistFormat
+	memBytes  int64 // current storage-memory charge
+}
+
+// newPartition wraps rows into a deserialized partition.
+func newPartition(index int, rows []Row) *Partition {
+	p := &Partition{id: partitionIDs.Add(1), index: index, rows: rows, format: Deserialized}
+	p.memBytes = rowsMemBytes(rows)
+	return p
+}
+
+func rowsMemBytes(rows []Row) int64 {
+	var n int64
+	for i := range rows {
+		n += rows[i].MemBytes()
+	}
+	return n
+}
+
+// Index returns the partition's position within its table.
+func (p *Partition) Index() int { return p.index }
+
+// NumRows returns the row count without materializing spilled data (it loads
+// a spilled partition's metadata lazily by decoding; callers on hot paths
+// should rely on Rows instead).
+func (p *Partition) NumRows() (int, error) {
+	rows, err := p.Rows()
+	if err != nil {
+		return 0, err
+	}
+	return len(rows), nil
+}
+
+// MemBytes returns the partition's current Storage Memory charge (0 when
+// spilled to disk).
+func (p *Partition) MemBytes() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.spillPath != "" {
+		return 0
+	}
+	return p.memBytes
+}
+
+// Format returns the partition's persistence format.
+func (p *Partition) Format() PersistFormat {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.format
+}
+
+// Spilled reports whether the partition currently lives on disk.
+func (p *Partition) Spilled() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.spillPath != ""
+}
+
+// Rows materializes the partition's rows, reading back spilled or serialized
+// data as needed. The returned slice must be treated as read-only.
+func (p *Partition) Rows() ([]Row, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rowsLocked()
+}
+
+func (p *Partition) rowsLocked() ([]Row, error) {
+	if p.rows != nil {
+		return p.rows, nil
+	}
+	blob := p.blob
+	if blob == nil && p.spillPath != "" {
+		b, err := os.ReadFile(p.spillPath)
+		if err != nil {
+			return nil, fmt.Errorf("dataflow: read spill: %w", err)
+		}
+		blob = b
+	}
+	if blob == nil {
+		return nil, nil // genuinely empty
+	}
+	rows, err := DecodeRows(blob)
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// serializeLocked converts the partition to its serialized in-memory form and
+// returns the blob size. No-op if already serialized.
+func (p *Partition) serializeLocked() (int64, error) {
+	if p.format == Serialized && p.blob != nil {
+		return int64(len(p.blob)), nil
+	}
+	rows, err := p.rowsLocked()
+	if err != nil {
+		return 0, err
+	}
+	blob, err := EncodeRows(rows)
+	if err != nil {
+		return 0, err
+	}
+	p.blob = blob
+	p.rows = nil
+	p.format = Serialized
+	p.memBytes = int64(len(blob))
+	return p.memBytes, nil
+}
+
+// spill writes the partition to dir and drops its in-memory contents,
+// returning the number of bytes written.
+func (p *Partition) spill(dir string) (int64, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.spillPath != "" {
+		return 0, nil
+	}
+	blob := p.blob
+	if blob == nil {
+		rows, err := p.rowsLocked()
+		if err != nil {
+			return 0, err
+		}
+		blob, err = EncodeRows(rows)
+		if err != nil {
+			return 0, err
+		}
+	}
+	path := filepath.Join(dir, fmt.Sprintf("part-%d.spill", p.id))
+	if err := os.WriteFile(path, blob, 0o600); err != nil {
+		return 0, fmt.Errorf("dataflow: spill: %w", err)
+	}
+	p.spillPath = path
+	p.rows = nil
+	p.blob = nil
+	return int64(len(blob)), nil
+}
+
+// unspillLocked loads a spilled partition back into memory in the given
+// format and returns its new memory charge.
+func (p *Partition) unspill(format PersistFormat) (int64, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.spillPath == "" {
+		return p.memBytes, nil
+	}
+	blob, err := os.ReadFile(p.spillPath)
+	if err != nil {
+		return 0, fmt.Errorf("dataflow: unspill: %w", err)
+	}
+	if err := os.Remove(p.spillPath); err != nil {
+		return 0, fmt.Errorf("dataflow: unspill: %w", err)
+	}
+	p.spillPath = ""
+	if format == Serialized {
+		p.blob = blob
+		p.format = Serialized
+		p.memBytes = int64(len(blob))
+	} else {
+		rows, err := DecodeRows(blob)
+		if err != nil {
+			return 0, err
+		}
+		p.rows = rows
+		p.format = Deserialized
+		p.memBytes = rowsMemBytes(rows)
+	}
+	return p.memBytes, nil
+}
+
+// discard removes any spill file; used when a table is dropped.
+func (p *Partition) discard() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.spillPath != "" {
+		os.Remove(p.spillPath)
+		p.spillPath = ""
+	}
+	p.rows = nil
+	p.blob = nil
+	p.memBytes = 0
+}

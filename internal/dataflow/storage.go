@@ -1,0 +1,150 @@
+package dataflow
+
+import (
+	"container/list"
+	"fmt"
+
+	"repro/internal/memory"
+)
+
+// storageCache manages one node's Storage Memory: cached partitions in LRU
+// order charged against a memory pool. Under pressure, a Spark-like system
+// evicts the least-recently-used partition to a real spill file on disk; an
+// Ignite-like (memory-only) system surfaces a StorageExhausted crash —
+// exactly the behavioral split behind the paper's Figure 6 Ignite/Eager
+// crash and Spark/Eager slowdown.
+type storageCache struct {
+	node   *node
+	engine *Engine
+	pool   *memory.Pool
+
+	// lru holds *Partition; front = most recently used. Guarded by the
+	// pool-independent mutex in Engine via single-writer discipline: all
+	// mutations go through add/touch/evict which take the engine lock.
+	lru   *list.List
+	index map[int64]*list.Element
+}
+
+func newStorageCache(n *node, e *Engine, capacity int64) *storageCache {
+	scenario := memory.StorageExhausted
+	return &storageCache{
+		node:   n,
+		engine: e,
+		pool:   memory.NewPool(memory.Storage, scenario, capacity),
+		lru:    list.New(),
+		index:  make(map[int64]*list.Element),
+	}
+}
+
+// add caches a partition, serializing it first if the engine's default
+// format asks for it, evicting (Spark) or failing (Ignite) under pressure.
+func (sc *storageCache) add(p *Partition) error {
+	sc.engine.mu.Lock()
+	defer sc.engine.mu.Unlock()
+
+	if sc.engine.cfg.DefaultFormat == Serialized {
+		p.mu.Lock()
+		if _, err := p.serializeLocked(); err != nil {
+			p.mu.Unlock()
+			return err
+		}
+		p.mu.Unlock()
+	}
+	need := p.MemBytes()
+	detail := fmt.Sprintf("cache partition %d (%s)", p.index, memory.FormatBytes(need))
+
+	err := sc.pool.TryAllocOrEvict(need, detail, func(int64) int64 {
+		if !sc.engine.cfg.Kind.SupportsSpill() {
+			return 0 // memory-only system: nothing evictable
+		}
+		return sc.evictLRULocked()
+	})
+	if err != nil {
+		return err
+	}
+	sc.index[p.id] = sc.lru.PushFront(p)
+	sc.updatePeak()
+	return nil
+}
+
+// evictLRULocked spills the least-recently-used partition and returns the
+// bytes it released from the pool (0 if nothing remains).
+func (sc *storageCache) evictLRULocked() int64 {
+	back := sc.lru.Back()
+	if back == nil {
+		return 0
+	}
+	p := back.Value.(*Partition)
+	charged := p.MemBytes()
+	written, err := p.spill(sc.engine.spillDir)
+	if err != nil {
+		// Disk trouble: drop the partition from cache anyway; callers will
+		// see the read error if they touch it.
+		sc.lru.Remove(back)
+		delete(sc.index, p.id)
+		return 0
+	}
+	sc.engine.counters.BytesSpilled.Add(written)
+	sc.lru.Remove(back)
+	delete(sc.index, p.id)
+	sc.pool.Free(charged)
+	return charged
+}
+
+// touch loads a partition's rows for processing, unspilling it (and charging
+// storage) if it was evicted; it also refreshes LRU recency.
+func (sc *storageCache) touch(p *Partition) ([]Row, error) {
+	sc.engine.mu.Lock()
+	if el, ok := sc.index[p.id]; ok {
+		sc.lru.MoveToFront(el)
+	}
+	spilled := p.Spilled()
+	sc.engine.mu.Unlock()
+
+	if spilled {
+		// Read back from disk, then re-admit to the cache.
+		sc.engine.mu.Lock()
+		defer sc.engine.mu.Unlock()
+		if p.Spilled() { // re-check under lock
+			n, err := p.unspill(sc.engine.cfg.DefaultFormat)
+			if err != nil {
+				return nil, err
+			}
+			sc.engine.counters.BytesUnspilled.Add(n)
+			err = sc.pool.TryAllocOrEvict(n, "unspill", func(int64) int64 {
+				if !sc.engine.cfg.Kind.SupportsSpill() {
+					return 0
+				}
+				return sc.evictLRULocked()
+			})
+			if err != nil {
+				return nil, err
+			}
+			sc.index[p.id] = sc.lru.PushFront(p)
+			sc.updatePeak()
+		}
+		return p.Rows()
+	}
+	return p.Rows()
+}
+
+// drop removes a partition from the cache and releases its storage charge.
+func (sc *storageCache) drop(p *Partition) {
+	sc.engine.mu.Lock()
+	defer sc.engine.mu.Unlock()
+	if el, ok := sc.index[p.id]; ok {
+		charged := p.MemBytes()
+		sc.lru.Remove(el)
+		delete(sc.index, p.id)
+		sc.pool.Free(charged)
+	}
+	p.discard()
+}
+
+func (sc *storageCache) updatePeak() {
+	var total int64
+	for _, n := range sc.engine.nodes {
+		total += n.storage.pool.Used()
+	}
+	maxStore(&sc.engine.counters.PeakStorageBytes, total)
+}

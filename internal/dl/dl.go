@@ -1,0 +1,278 @@
+// Package dl is the deep-learning-system bridge of the Vista reproduction —
+// the role TensorFrames plays between Spark and TensorFlow in the paper
+// (Section 2). A Session holds one CNN's realized weights, charges per-core
+// model replicas against each worker's DL Execution Memory (Section 4.1,
+// crash scenario 1; Equation 11) and the serialized model against User Memory
+// (Equation 10), and manufactures partition UDFs that run (partial) CNN
+// inference over dataflow tables.
+package dl
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cnn"
+	"repro/internal/dataflow"
+	"repro/internal/memory"
+	"repro/internal/tensor"
+)
+
+// Options configures a Session.
+type Options struct {
+	// Seed drives deterministic weight realization.
+	Seed int64
+	// GPUMemBytes, when positive, enforces the Equation 15 GPU constraint:
+	// replicas × |f|_mem_gpu must fit the device.
+	GPUMemBytes int64
+}
+
+// Session binds one CNN model to a dataflow engine, with its memory
+// footprint charged for the session's lifetime.
+type Session struct {
+	engine  *dataflow.Engine
+	model   *cnn.Model
+	stats   *cnn.Stats
+	weights *cnn.Weights
+
+	replicaCharge int64 // per-node DL execution charge
+	userCharge    int64 // per-node serialized-model charge
+	closed        bool
+}
+
+// NewSession realizes the model's weights and charges its footprint:
+// cpu × |f|_mem of DL Execution Memory and |f|_ser of User Memory per worker
+// ("execution threads in a single worker have access to shared memory, the
+// serialized CNN model need not be replicated", Section 4.3). It fails with a
+// typed OOM when a worker cannot hold the replicas — the paper's
+// DL-execution-blowup crash.
+func NewSession(e *dataflow.Engine, model *cnn.Model, opts Options) (*Session, error) {
+	stats, err := cnn.ComputeStats(model)
+	if err != nil {
+		return nil, err
+	}
+	weights, err := model.RealizeWeights(opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	// The driver serializes the CNN once and broadcasts it to every worker
+	// (Section 4.1, crash scenario 4); workers deserialize their replica
+	// source. The round-trip exercises the real checkpoint codec and
+	// charges the driver for holding the serialized model.
+	blob, err := cnn.SerializeWeights(weights)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.DriverPool().Alloc(int64(len(blob)), fmt.Sprintf("serialized %s broadcast", model.Name)); err != nil {
+		return nil, err
+	}
+	e.DriverPool().Free(int64(len(blob)))
+	e.Counters().BytesBroadcast.Add(int64(len(blob)) * int64(e.Config().Nodes))
+	if weights, err = cnn.DeserializeWeights(blob); err != nil {
+		return nil, err
+	}
+	if len(weights.Layers) != model.NumLayers() {
+		return nil, fmt.Errorf("dl: checkpoint has %d layers, model %s has %d",
+			len(weights.Layers), model.Name, model.NumLayers())
+	}
+	cores := e.Config().CoresPerNode
+	if opts.GPUMemBytes > 0 {
+		need := int64(cores) * stats.GPUMemBytes
+		if need > opts.GPUMemBytes {
+			return nil, &memory.OOMError{
+				Region:   memory.Device,
+				Scenario: memory.DeviceExhausted,
+				Need:     need,
+				Avail:    opts.GPUMemBytes,
+				Detail:   fmt.Sprintf("%d replicas of %s (Equation 15)", cores, model.Name),
+			}
+		}
+	}
+	s := &Session{
+		engine:        e,
+		model:         model,
+		stats:         stats,
+		weights:       weights,
+		replicaCharge: int64(cores) * stats.MemBytes,
+		userCharge:    stats.SerializedBytes,
+	}
+	charged := 0
+	for i := 0; i < e.Config().Nodes; i++ {
+		if err := e.DLPool(i).Alloc(s.replicaCharge,
+			fmt.Sprintf("%d replicas of %s (%s each)", cores, model.Name, memory.FormatBytes(stats.MemBytes))); err != nil {
+			s.releaseCharges(charged, 0)
+			return nil, err
+		}
+		charged++
+	}
+	userCharged := 0
+	for i := 0; i < e.Config().Nodes; i++ {
+		if err := e.UserPool(i).Alloc(s.userCharge,
+			fmt.Sprintf("serialized %s", model.Name)); err != nil {
+			s.releaseCharges(charged, userCharged)
+			return nil, err
+		}
+		userCharged++
+	}
+	return s, nil
+}
+
+func (s *Session) releaseCharges(dlNodes, userNodes int) {
+	for i := 0; i < dlNodes; i++ {
+		s.engine.DLPool(i).Free(s.replicaCharge)
+	}
+	for i := 0; i < userNodes; i++ {
+		s.engine.UserPool(i).Free(s.userCharge)
+	}
+}
+
+// Close releases the session's memory charges. Safe to call twice.
+func (s *Session) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.releaseCharges(s.engine.Config().Nodes, s.engine.Config().Nodes)
+}
+
+// Model returns the session's CNN.
+func (s *Session) Model() *cnn.Model { return s.model }
+
+// Stats returns the session's derived model statistics.
+func (s *Session) Stats() *cnn.Stats { return s.stats }
+
+// InferenceSpec describes one inference pass over a table — the injected UDF
+// of Section 3.3 ("Vista injects UDFs to run (partial) CNN inference, i.e.,
+// f, f̂_l, g_l, and f̂_{i→j}").
+type InferenceSpec struct {
+	// From is the first model layer to apply.
+	From int
+	// FromImage selects the input: true decodes Row.Image into the image
+	// tensor; false takes Row.Features.Get(InputIndex) as the intermediate
+	// tensor from a previous partial-inference pass.
+	FromImage  bool
+	InputIndex int
+	// EmitLayers are model layer indices (ascending, each >= From) whose
+	// pooled+flattened feature vectors g_l(f̂_l(·)) are appended to the
+	// output TensorList, in order.
+	EmitLayers []int
+	// KeepRawAt, when >= 0, appends the *unpooled* output of that layer
+	// (which must equal the last computed layer) so a later stage can
+	// continue partial inference from it. The raw tensor is appended after
+	// all emitted features.
+	KeepRawAt int
+	// DropInput discards the input tensor (and any other pre-existing
+	// features) from the output rows instead of carrying them forward.
+	// When false, pre-existing features are preserved ahead of new ones.
+	DropInput bool
+}
+
+// validate checks the spec against the model and returns the final layer.
+func (s *Session) validate(spec InferenceSpec) (int, error) {
+	if len(spec.EmitLayers) == 0 && spec.KeepRawAt < 0 {
+		return 0, fmt.Errorf("dl: inference spec emits nothing")
+	}
+	last := spec.KeepRawAt
+	prev := spec.From - 1
+	for _, l := range spec.EmitLayers {
+		if l <= prev {
+			return 0, fmt.Errorf("dl: emit layers must be ascending and >= From; got %v from %d", spec.EmitLayers, spec.From)
+		}
+		prev = l
+		if l > last {
+			last = l
+		}
+	}
+	if spec.From < 0 || last >= s.model.NumLayers() {
+		return 0, fmt.Errorf("dl: layer range [%d,%d] outside model %s (%d layers)",
+			spec.From, last, s.model.Name, s.model.NumLayers())
+	}
+	if spec.KeepRawAt >= 0 && spec.KeepRawAt < last {
+		return 0, fmt.Errorf("dl: KeepRawAt %d must be the last computed layer %d", spec.KeepRawAt, last)
+	}
+	return last, nil
+}
+
+// PartitionFunc builds the dataflow UDF running this inference spec. Each
+// row's input tensor is advanced through the layer range segment by segment,
+// emitting pooled feature vectors at the requested layers; FLOPs are recorded
+// on the task context.
+func (s *Session) PartitionFunc(spec InferenceSpec) (dataflow.PartitionFunc, error) {
+	last, err := s.validate(spec)
+	if err != nil {
+		return nil, err
+	}
+	emits := append([]int(nil), spec.EmitLayers...)
+	sort.Ints(emits)
+	perRowFLOPs, err := s.model.PartialFLOPs(spec.From, last)
+	if err != nil {
+		return nil, err
+	}
+
+	return func(tc *dataflow.TaskContext, in []Row) ([]Row, error) {
+		out := make([]Row, len(in))
+		for i := range in {
+			r := in[i] // shallow copy; payloads are replaced below
+			t, err := s.inputTensor(&in[i], spec)
+			if err != nil {
+				return nil, fmt.Errorf("dl: partition %d row %d: %w", tc.Part, in[i].ID, err)
+			}
+			features := tensor.NewTensorList()
+			if !spec.DropInput && in[i].Features != nil {
+				for j := 0; j < in[i].Features.Len(); j++ {
+					features.Append(in[i].Features.Get(j))
+				}
+			}
+			cursor := spec.From
+			for _, emit := range emits {
+				if t, err = s.model.PartialInfer(s.weights, t, cursor, emit); err != nil {
+					return nil, err
+				}
+				cursor = emit + 1
+				vec, err := cnn.FeatureVector(t)
+				if err != nil {
+					return nil, err
+				}
+				features.Append(vec)
+			}
+			if cursor <= last {
+				if t, err = s.model.PartialInfer(s.weights, t, cursor, last); err != nil {
+					return nil, err
+				}
+			}
+			if spec.KeepRawAt >= 0 {
+				features.Append(t)
+			}
+			r.Features = features
+			if spec.FromImage {
+				r.Image = nil // decoded and consumed; drop the raw payload
+			}
+			out[i] = r
+		}
+		tc.AddFLOPs(perRowFLOPs * int64(len(in)))
+		return out, nil
+	}, nil
+}
+
+// Row aliases dataflow.Row for UDF signatures.
+type Row = dataflow.Row
+
+func (s *Session) inputTensor(r *dataflow.Row, spec InferenceSpec) (*tensor.Tensor, error) {
+	if spec.FromImage {
+		if r.Image == nil {
+			return nil, fmt.Errorf("row has no image payload")
+		}
+		t, err := tensor.Decode(r.Image)
+		if err != nil {
+			return nil, err
+		}
+		if !t.Shape().Equal(s.model.InputShape) {
+			return nil, fmt.Errorf("%w: image %v vs model input %v",
+				tensor.ErrShape, t.Shape(), s.model.InputShape)
+		}
+		return t, nil
+	}
+	if r.Features == nil || r.Features.Len() <= spec.InputIndex {
+		return nil, fmt.Errorf("row has no feature tensor at index %d", spec.InputIndex)
+	}
+	return r.Features.Get(spec.InputIndex), nil
+}

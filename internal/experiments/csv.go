@@ -1,0 +1,220 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSVExporter is implemented by every experiment result: a header plus data
+// rows, ready for plotting tools.
+type CSVExporter interface {
+	CSV() (header []string, rows [][]string)
+}
+
+// WriteCSV writes an exporter's data to w in RFC 4180 CSV.
+func WriteCSV(w io.Writer, e CSVExporter) error {
+	header, rows := e.CSV()
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("experiments: csv: %w", err)
+	}
+	for _, r := range rows {
+		if err := cw.Write(r); err != nil {
+			return fmt.Errorf("experiments: csv: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f2s(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+
+// CSV implements CSVExporter: one row per Figure 6 bar.
+func (r *Figure6Result) CSV() ([]string, [][]string) {
+	header := []string{"system", "dataset", "model", "approach", "minutes", "crashed", "crash_scenario"}
+	var rows [][]string
+	for _, c := range r.Cells {
+		minutes, crashed, scenario := "", "false", ""
+		if c.Crashed() {
+			crashed = "true"
+			scenario = fmtCell(c.Result)
+		} else {
+			minutes = f2s(c.TotalMin())
+		}
+		rows = append(rows, []string{c.System, c.Dataset, c.Model, c.Approach, minutes, crashed, scenario})
+	}
+	return header, rows
+}
+
+// CSV implements CSVExporter.
+func (r *Figure7AResult) CSV() ([]string, [][]string) {
+	header := []string{"model", "approach", "minutes", "crashed"}
+	var rows [][]string
+	for _, c := range r.Cells {
+		minutes, crashed := "", "false"
+		if c.Crashed() {
+			crashed = "true"
+		} else {
+			minutes = f2s(c.Result.TotalMin())
+		}
+		rows = append(rows, []string{c.Model, c.Approach, minutes, crashed})
+	}
+	return header, rows
+}
+
+// CSV implements CSVExporter.
+func (r *Figure7BResult) CSV() ([]string, [][]string) {
+	header := []string{"layers", "tft_beam_min", "vista_min"}
+	var rows [][]string
+	for _, p := range r.Points {
+		rows = append(rows, []string{strconv.Itoa(p.Layers), f2s(p.TFTBeamMin), f2s(p.VistaMin)})
+	}
+	return header, rows
+}
+
+// CSV implements CSVExporter.
+func (r *Figure8Result) CSV() ([]string, [][]string) {
+	header := []string{"dataset", "model", "feature_set", "test_f1"}
+	var rows [][]string
+	for _, p := range r.Panels {
+		for _, e := range p.Entries {
+			rows = append(rows, []string{p.Dataset, p.Model, e.FeatureSet, f2s(e.F1)})
+		}
+	}
+	return header, rows
+}
+
+// CSV implements CSVExporter: one row per (x, series) point.
+func (r *SweepResult) CSV() ([]string, [][]string) {
+	header := []string{"panel", "x", "series", "minutes", "crashed"}
+	var rows [][]string
+	for _, p := range r.Points {
+		for _, s := range r.Series {
+			res := p.Series[s]
+			minutes, crashed := "", "false"
+			if res.Crash != nil {
+				crashed = "true"
+			} else {
+				minutes = f2s(res.TotalMin())
+			}
+			rows = append(rows, []string{r.Title, p.X, s, minutes, crashed})
+		}
+	}
+	return header, rows
+}
+
+// SweepSet groups a figure's sweep panels into one exportable unit.
+type SweepSet []*SweepResult
+
+// CSV implements CSVExporter by concatenating the panels' rows.
+func (s SweepSet) CSV() ([]string, [][]string) {
+	header := []string{"panel", "x", "series", "minutes", "crashed"}
+	var rows [][]string
+	for _, sw := range s {
+		_, r := sw.CSV()
+		rows = append(rows, r...)
+	}
+	return header, rows
+}
+
+// CSV implements CSVExporter: both sweeps plus the optimizer picks.
+func (r *Figure11Result) CSV() ([]string, [][]string) {
+	header := []string{"panel", "x", "series", "minutes", "crashed"}
+	_, cpuRows := r.CPUSweep.CSV()
+	_, npRows := r.NPSweep.CSV()
+	rows := append(cpuRows, npRows...)
+	for _, model := range Models {
+		d := r.Picked[model]
+		rows = append(rows, []string{"picked", model, "cpu", strconv.Itoa(d.CPU), "false"})
+		rows = append(rows, []string{"picked", model, "np", strconv.Itoa(d.NP), "false"})
+	}
+	return header, rows
+}
+
+// CSV implements CSVExporter.
+func (r *Figure12Result) CSV() ([]string, [][]string) {
+	header := []string{"panel", "model", "x", "value"}
+	var rows [][]string
+	for _, model := range Models {
+		for i, n := range r.Nodes {
+			rows = append(rows, []string{"scaleup", model, strconv.Itoa(n), f2s(r.Scaleup[model][i])})
+			rows = append(rows, []string{"speedup", model, strconv.Itoa(n), f2s(r.Speedup[model][i])})
+		}
+		for cpu, v := range r.CPUSpeedup[model] {
+			rows = append(rows, []string{"cpu-speedup", model, strconv.Itoa(cpu + 1), f2s(v)})
+		}
+	}
+	return header, rows
+}
+
+// CSV implements CSVExporter.
+func (r *Figure15Result) CSV() ([]string, [][]string) {
+	header := []string{"model", "rows", "estimate_bytes", "deserialized_bytes", "serialized_bytes"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{row.Model, strconv.Itoa(row.Rows),
+			strconv.FormatInt(row.EstimateBytes, 10),
+			strconv.FormatInt(row.ActualDeserBytes, 10),
+			strconv.FormatInt(row.ActualSerBytes, 10)})
+	}
+	return header, rows
+}
+
+// CSV implements CSVExporter.
+func (r *Figure16Result) CSV() ([]string, [][]string) {
+	header := []string{"model", "layers", "materialization_min", "without_premat_min", "with_premat_min"}
+	var rows [][]string
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			rows = append(rows, []string{s.Model, strconv.Itoa(p.Layers),
+				f2s(p.MaterializationMin), f2s(p.WithoutPreMatMin), f2s(p.WithPreMatMin)})
+		}
+	}
+	return header, rows
+}
+
+// CSV implements CSVExporter.
+func (r *Table2Result) CSV() ([]string, [][]string) {
+	header := []string{"model", "position", "stored_gb"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		for _, pos := range []string{"1st", "2nd", "4th", "5th"} {
+			if v, ok := row.SizesGB[pos]; ok {
+				rows = append(rows, []string{row.Model, pos, f2s(v)})
+			}
+		}
+	}
+	return header, rows
+}
+
+// CSV implements CSVExporter.
+func (r *Table3Result) CSV() ([]string, [][]string) {
+	header := []string{"model", "nodes", "layer", "minutes"}
+	var rows [][]string
+	for _, model := range Models {
+		for _, n := range r.Nodes {
+			col := r.Breakdown[model][n]
+			for _, layer := range col.LayerOrder {
+				rows = append(rows, []string{model, strconv.Itoa(n), layer, f2s(col.LayerMin[layer])})
+			}
+			rows = append(rows, []string{model, strconv.Itoa(n), "total", f2s(col.TotalMin)})
+			rows = append(rows, []string{model, strconv.Itoa(n), "read-images", f2s(col.ReadMin)})
+		}
+	}
+	return header, rows
+}
+
+// CSV implements CSVExporter.
+func (r *Figure17Result) CSV() ([]string, [][]string) {
+	header := []string{"curve", "model", "nodes", "speedup"}
+	var rows [][]string
+	for _, model := range Models {
+		for i, n := range r.Nodes {
+			rows = append(rows, []string{"compute", model, strconv.Itoa(n), f2s(r.ComputeSpeedup[model][i])})
+			rows = append(rows, []string{"read", model, strconv.Itoa(n), f2s(r.ReadSpeedup[model][i])})
+		}
+	}
+	return header, rows
+}

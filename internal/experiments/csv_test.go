@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+// checkCSV writes the exporter and re-parses it, validating shape.
+func checkCSV(t *testing.T, e CSVExporter, wantCols int, minRows int) [][]string {
+	t.Helper()
+	var b strings.Builder
+	if err := WriteCSV(&b, e); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	records, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	if len(records) < minRows+1 {
+		t.Fatalf("got %d records, want >= %d", len(records), minRows+1)
+	}
+	for i, rec := range records {
+		if len(rec) != wantCols {
+			t.Fatalf("record %d has %d columns, want %d", i, len(rec), wantCols)
+		}
+	}
+	return records
+}
+
+func TestCSVExports(t *testing.T) {
+	f6, err := Figure6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := checkCSV(t, f6, 7, 72)
+	crashSeen := false
+	for _, r := range recs[1:] {
+		if r[5] == "true" {
+			crashSeen = true
+			if r[4] != "" {
+				t.Error("crashed rows must not carry minutes")
+			}
+		}
+	}
+	if !crashSeen {
+		t.Error("figure 6 csv has no crash rows")
+	}
+
+	f7a, err := Figure7A()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCSV(t, f7a, 4, 12)
+
+	f7b, err := Figure7B()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCSV(t, f7b, 3, 5)
+
+	sweeps, err := Figure9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCSV(t, sweeps[0], 5, 4)
+
+	f11, err := Figure11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCSV(t, f11, 5, 8+6+6)
+
+	f12, err := Figure12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCSV(t, f12, 4, 3*(8+8))
+
+	f16, err := Figure16()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCSV(t, f16, 5, 12)
+
+	t2, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCSV(t, t2, 3, 9)
+
+	t3, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCSV(t, t3, 4, 3*4*3)
+
+	f17, err := Figure17()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCSV(t, f17, 4, 24)
+}
+
+func TestFigure8CSV(t *testing.T) {
+	// Build a synthetic result rather than paying a real training run.
+	res := &Figure8Result{Panels: []Figure8Panel{{
+		Dataset: "foods", Model: "tiny-alexnet",
+		Entries: []Figure8Entry{{FeatureSet: "struct", F1: 0.7}, {FeatureSet: "struct+fc6", F1: 0.8}},
+	}}}
+	recs := checkCSV(t, res, 4, 2)
+	if recs[1][2] != "struct" || recs[2][3] != "0.8" {
+		t.Errorf("unexpected rows: %v", recs[1:])
+	}
+}
+
+func TestFigure15CSVShape(t *testing.T) {
+	res := &Figure15Result{Rows: []Figure15Row{{
+		Model: "tiny-alexnet", Rows: 100,
+		EstimateBytes: 300, ActualDeserBytes: 200, ActualSerBytes: 100,
+	}}}
+	recs := checkCSV(t, res, 5, 1)
+	if recs[1][2] != "300" {
+		t.Errorf("estimate column = %q", recs[1][2])
+	}
+}

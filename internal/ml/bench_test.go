@@ -1,0 +1,49 @@
+package ml
+
+import "testing"
+
+func BenchmarkTrainLogReg(b *testing.B) {
+	rows := linearlySeparableRows(1000, 64, 1)
+	cfg := DefaultLogRegConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := TrainLogRegRows(rows, StructuredOnly(), 64, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrainTree(b *testing.B) {
+	rows := linearlySeparableRows(1000, 32, 2)
+	cfg := DefaultTreeConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := TrainTree(rows, StructuredOnly(), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrainMLP(b *testing.B) {
+	rows := linearlySeparableRows(500, 32, 3)
+	cfg := MLPConfig{Hidden: []int{16}, Iterations: 5, BatchSize: 32, LearningRate: 0.1, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := TrainMLP(rows, StructuredOnly(), 32, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPredict(b *testing.B) {
+	rows := linearlySeparableRows(100, 256, 4)
+	m, err := TrainLogRegRows(rows, StructuredOnly(), 256, DefaultLogRegConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := rows[0].Structured
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Predict(x)
+	}
+}

@@ -1,0 +1,284 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/dataflow"
+)
+
+// LogisticRegression is a binary classifier trained with elastic-net
+// regularized gradient descent — the paper's downstream model in Figures 6
+// and 8 ("logistic regression model with elastic net regularization with
+// α = 0.5 and a regularization value of 0.01"). When trained with
+// standardization, Mu and Sigma hold the per-dimension training statistics
+// and Predict applies them, so callers never scale inputs themselves.
+type LogisticRegression struct {
+	W []float32
+	B float32
+	// Mu and Sigma are per-dimension standardization parameters (nil when
+	// the model was trained on raw features).
+	Mu, Sigma []float32
+}
+
+// Predict returns the positive-class probability.
+func (m *LogisticRegression) Predict(x []float32) float32 {
+	var z float64 = float64(m.B)
+	n := len(x)
+	if n > len(m.W) {
+		n = len(m.W)
+	}
+	for i := 0; i < n; i++ {
+		xv := float64(x[i])
+		if m.Mu != nil {
+			xv = (xv - float64(m.Mu[i])) / float64(m.Sigma[i])
+		}
+		z += float64(m.W[i]) * xv
+	}
+	return float32(1 / (1 + math.Exp(-z)))
+}
+
+// LogRegConfig sets the training hyper-parameters.
+type LogRegConfig struct {
+	// Iterations of full-batch gradient descent (paper: 10).
+	Iterations int
+	// LearningRate for the gradient step.
+	LearningRate float64
+	// Alpha mixes L1 vs L2 in the elastic net (paper: 0.5).
+	Alpha float64
+	// Lambda is the regularization strength (paper: 0.01).
+	Lambda float64
+	// Standardize z-scores each feature dimension on the training set
+	// before fitting (standard MLlib-pipeline practice; essential when
+	// concatenating structured features with raw CNN activations of very
+	// different magnitudes).
+	Standardize bool
+}
+
+// DefaultLogRegConfig mirrors the paper's Section 5 settings.
+func DefaultLogRegConfig() LogRegConfig {
+	return LogRegConfig{Iterations: 10, LearningRate: 0.5, Alpha: 0.5, Lambda: 0.01, Standardize: true}
+}
+
+// standardizer accumulates per-dimension moments and finalizes Mu/Sigma.
+type standardizer struct {
+	sum, sumSq []float64
+	n          int64
+}
+
+func newStandardizer(dim int) *standardizer {
+	return &standardizer{sum: make([]float64, dim), sumSq: make([]float64, dim)}
+}
+
+func (s *standardizer) add(x []float32) {
+	for i, v := range x {
+		s.sum[i] += float64(v)
+		s.sumSq[i] += float64(v) * float64(v)
+	}
+	s.n++
+}
+
+func (s *standardizer) merge(o *standardizer) {
+	for i := range s.sum {
+		s.sum[i] += o.sum[i]
+		s.sumSq[i] += o.sumSq[i]
+	}
+	s.n += o.n
+}
+
+// finalize returns Mu and Sigma (degenerate dimensions get sigma 1).
+func (s *standardizer) finalize() (mu, sigma []float32) {
+	mu = make([]float32, len(s.sum))
+	sigma = make([]float32, len(s.sum))
+	inv := 1 / float64(s.n)
+	for i := range s.sum {
+		m := s.sum[i] * inv
+		v := s.sumSq[i]*inv - m*m
+		if v < 1e-12 {
+			v = 1
+		}
+		mu[i] = float32(m)
+		sigma[i] = float32(math.Sqrt(v))
+	}
+	return mu, sigma
+}
+
+// TrainLogReg fits a logistic regression over a distributed table: every
+// iteration aggregates per-partition gradient sums in parallel on the
+// workers (through the engine's memory-accounted aggregation path) and takes
+// one driver-side step. dim is the feature dimensionality of extract's
+// output.
+func TrainLogReg(e *dataflow.Engine, t *dataflow.Table, extract FeatureFunc, dim int, cfg LogRegConfig) (*LogisticRegression, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("ml: non-positive feature dim %d", dim)
+	}
+	if cfg.Iterations <= 0 {
+		return nil, fmt.Errorf("ml: non-positive iterations %d", cfg.Iterations)
+	}
+	model := &LogisticRegression{W: make([]float32, dim)}
+	if cfg.Standardize {
+		st := newStandardizer(dim)
+		var mu sync.Mutex
+		err := e.ForEachPartition(t, func(_ *dataflow.TaskContext, rows []dataflow.Row) error {
+			local := newStandardizer(dim)
+			for i := range rows {
+				x, _, err := extract(&rows[i])
+				if err != nil {
+					return err
+				}
+				if len(x) != dim {
+					return fmt.Errorf("ml: row %d has %d features, want %d", rows[i].ID, len(x), dim)
+				}
+				local.add(x)
+			}
+			mu.Lock()
+			st.merge(local)
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if st.n == 0 {
+			return nil, fmt.Errorf("ml: empty training table %s", t.Name)
+		}
+		model.Mu, model.Sigma = st.finalize()
+	}
+
+	// The driver accumulates one gradient vector per iteration (Section
+	// 4.1, crash scenario 4: "the Driver may also have to collect partial
+	// results from workers"); charge it once against driver memory.
+	gradBytes := int64(dim) * 8
+	if err := e.DriverPool().Alloc(gradBytes, fmt.Sprintf("gradient aggregation over %d features", dim)); err != nil {
+		return nil, err
+	}
+	defer e.DriverPool().Free(gradBytes)
+
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		grad := make([]float64, dim)
+		var gradB float64
+		var count int64
+		var mu sync.Mutex
+
+		err := e.ForEachPartition(t, func(tc *dataflow.TaskContext, rows []dataflow.Row) error {
+			localGrad := make([]float64, dim)
+			var localB float64
+			var localN int64
+			for i := range rows {
+				x, y, err := extract(&rows[i])
+				if err != nil {
+					return err
+				}
+				if len(x) != dim {
+					return fmt.Errorf("ml: row %d has %d features, want %d", rows[i].ID, len(x), dim)
+				}
+				p := float64(model.Predict(x))
+				diff := p - float64(y)
+				for j, xv := range x {
+					localGrad[j] += diff * model.scaled(j, xv)
+				}
+				localB += diff
+				localN++
+			}
+			tc.AddFLOPs(int64(dim) * 4 * localN) // predict + gradient accumulate
+			mu.Lock()
+			for j := range grad {
+				grad[j] += localGrad[j]
+			}
+			gradB += localB
+			count += localN
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if count == 0 {
+			return nil, fmt.Errorf("ml: empty training table %s", t.Name)
+		}
+		inv := 1 / float64(count)
+		for j := range model.W {
+			w := float64(model.W[j])
+			g := grad[j]*inv + cfg.Lambda*(cfg.Alpha*sign(w)+(1-cfg.Alpha)*w)
+			model.W[j] = float32(w - cfg.LearningRate*g)
+		}
+		model.B = float32(float64(model.B) - cfg.LearningRate*gradB*inv)
+	}
+	return model, nil
+}
+
+// scaled maps a raw feature value to the model's training scale.
+func (m *LogisticRegression) scaled(j int, v float32) float64 {
+	if m.Mu == nil {
+		return float64(v)
+	}
+	return (float64(v) - float64(m.Mu[j])) / float64(m.Sigma[j])
+}
+
+func sign(v float64) float64 {
+	switch {
+	case v > 0:
+		return 1
+	case v < 0:
+		return -1
+	}
+	return 0
+}
+
+// TrainLogRegRows fits on an in-memory row slice (driver-local training, used
+// for evaluation splits and tests).
+func TrainLogRegRows(rows []dataflow.Row, extract FeatureFunc, dim int, cfg LogRegConfig) (*LogisticRegression, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("ml: non-positive feature dim %d", dim)
+	}
+	model := &LogisticRegression{W: make([]float32, dim)}
+	if cfg.Standardize {
+		st := newStandardizer(dim)
+		for i := range rows {
+			x, _, err := extract(&rows[i])
+			if err != nil {
+				return nil, err
+			}
+			if len(x) != dim {
+				return nil, fmt.Errorf("ml: row %d has %d features, want %d", rows[i].ID, len(x), dim)
+			}
+			st.add(x)
+		}
+		if st.n == 0 {
+			return nil, fmt.Errorf("ml: no training rows")
+		}
+		model.Mu, model.Sigma = st.finalize()
+	}
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		grad := make([]float64, dim)
+		var gradB float64
+		var count int64
+		for i := range rows {
+			x, y, err := extract(&rows[i])
+			if err != nil {
+				return nil, err
+			}
+			if len(x) != dim {
+				return nil, fmt.Errorf("ml: row %d has %d features, want %d", rows[i].ID, len(x), dim)
+			}
+			diff := float64(model.Predict(x)) - float64(y)
+			for j, xv := range x {
+				grad[j] += diff * model.scaled(j, xv)
+			}
+			gradB += diff
+			count++
+		}
+		if count == 0 {
+			return nil, fmt.Errorf("ml: no training rows")
+		}
+		inv := 1 / float64(count)
+		for j := range model.W {
+			w := float64(model.W[j])
+			g := grad[j]*inv + cfg.Lambda*(cfg.Alpha*sign(w)+(1-cfg.Alpha)*w)
+			model.W[j] = float32(w - cfg.LearningRate*g)
+		}
+		model.B = float32(float64(model.B) - cfg.LearningRate*gradB*inv)
+	}
+	return model, nil
+}

@@ -1,0 +1,379 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataflow"
+	"repro/internal/memory"
+	"repro/internal/tensor"
+)
+
+// linearlySeparableRows builds rows whose label is determined by the sign of
+// a noisy linear function of the structured features.
+func linearlySeparableRows(n, dim int, seed int64) []dataflow.Row {
+	rng := rand.New(rand.NewSource(seed))
+	w := make([]float64, dim)
+	for i := range w {
+		w[i] = rng.NormFloat64()
+	}
+	rows := make([]dataflow.Row, n)
+	for i := range rows {
+		x := make([]float32, dim)
+		var z float64
+		for j := range x {
+			x[j] = float32(rng.NormFloat64())
+			z += w[j] * float64(x[j])
+		}
+		label := float32(0)
+		if z+0.3*rng.NormFloat64() > 0 {
+			label = 1
+		}
+		rows[i] = dataflow.Row{ID: int64(i), Label: label, Structured: x}
+	}
+	return rows
+}
+
+func TestLogRegLearnsLinearSeparation(t *testing.T) {
+	rows := linearlySeparableRows(600, 8, 1)
+	train, test := SplitByID(rows, 0.25)
+	cfg := LogRegConfig{Iterations: 60, LearningRate: 0.8, Alpha: 0.5, Lambda: 0.001}
+	m, err := TrainLogRegRows(train, StructuredOnly(), 8, cfg)
+	if err != nil {
+		t.Fatalf("TrainLogRegRows: %v", err)
+	}
+	met, err := Evaluate(m, test, StructuredOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.Accuracy < 0.8 {
+		t.Errorf("accuracy = %.3f, want >= 0.8 on separable data", met.Accuracy)
+	}
+	if met.F1 <= 0 {
+		t.Error("F1 = 0 on learnable data")
+	}
+}
+
+func TestDistributedLogRegMatchesLocal(t *testing.T) {
+	rows := linearlySeparableRows(400, 6, 2)
+	e, err := dataflow.NewEngine(dataflow.Config{
+		Nodes: 2, CoresPerNode: 2, Kind: memory.SparkLike,
+		Apportion: memory.Apportionment{
+			User: memory.MB(64), Core: memory.MB(64), Storage: memory.MB(64), DLExecution: memory.MB(8),
+		},
+		DriverMemory: memory.MB(64),
+		SpillDir:     t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	tb, err := e.CreateTable("t", rows, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := LogRegConfig{Iterations: 20, LearningRate: 0.5, Alpha: 0.5, Lambda: 0.01}
+	dist, err := TrainLogReg(e, tb, StructuredOnly(), 6, cfg)
+	if err != nil {
+		t.Fatalf("TrainLogReg: %v", err)
+	}
+	local, err := TrainLogRegRows(rows, StructuredOnly(), 6, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full-batch GD is order-independent: distributed and local training
+	// must agree to float tolerance.
+	for j := range dist.W {
+		if d := float64(dist.W[j] - local.W[j]); math.Abs(d) > 1e-3 {
+			t.Fatalf("weight %d differs: dist %v vs local %v", j, dist.W[j], local.W[j])
+		}
+	}
+	if e.Counters().Snapshot().FLOPs <= 0 {
+		t.Error("training FLOPs not recorded")
+	}
+}
+
+func TestTrainLogRegDriverOOM(t *testing.T) {
+	// Gradient aggregation over an enormous feature space exceeds driver
+	// memory — the Section 4.1 scenario 4 path in distributed training.
+	rows := make([]dataflow.Row, 4)
+	const dim = 1 << 16
+	for i := range rows {
+		rows[i] = dataflow.Row{ID: int64(i), Label: float32(i % 2), Structured: make([]float32, dim)}
+	}
+	e, err := dataflow.NewEngine(dataflow.Config{
+		Nodes: 1, CoresPerNode: 1, Kind: memory.SparkLike,
+		Apportion: memory.Apportionment{
+			User: memory.MB(64), Core: memory.MB(64), Storage: memory.MB(64),
+		},
+		DriverMemory: 1024, // 1 KB driver: cannot hold a 512 KB gradient
+		SpillDir:     t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	tb, err := e.CreateTable("wide", rows, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = TrainLogReg(e, tb, StructuredOnly(), dim, DefaultLogRegConfig())
+	oom, ok := memory.IsOOM(err)
+	if !ok {
+		t.Fatalf("expected driver OOM, got %v", err)
+	}
+	if oom.Scenario != memory.DriverOOM {
+		t.Errorf("scenario = %v, want driver-oom", oom.Scenario)
+	}
+}
+
+func TestTrainLogRegValidation(t *testing.T) {
+	rows := linearlySeparableRows(10, 3, 3)
+	if _, err := TrainLogRegRows(rows, StructuredOnly(), 0, DefaultLogRegConfig()); err == nil {
+		t.Error("accepted dim 0")
+	}
+	if _, err := TrainLogRegRows(nil, StructuredOnly(), 3, DefaultLogRegConfig()); err == nil {
+		t.Error("accepted empty training set")
+	}
+	if _, err := TrainLogRegRows(rows, StructuredOnly(), 5, DefaultLogRegConfig()); err == nil {
+		t.Error("accepted wrong dim")
+	}
+	bad := LogRegConfig{Iterations: 0}
+	e, err := dataflow.NewEngine(dataflow.Config{Nodes: 1, CoresPerNode: 1,
+		Apportion: memory.Apportionment{User: memory.MB(8), Core: memory.MB(8), Storage: memory.MB(8)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	tb, err := e.CreateTable("t", rows, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TrainLogReg(e, tb, StructuredOnly(), 3, bad); err == nil {
+		t.Error("accepted zero iterations")
+	}
+}
+
+func TestFeatureFuncs(t *testing.T) {
+	r := dataflow.Row{
+		ID: 1, Label: 1,
+		Structured: []float32{1, 2},
+		Features:   tensor.NewTensorList(tensor.MustFromSlice([]float32{3, 4, 5}, 3)),
+	}
+	x, y, err := StructuredOnly()(&r)
+	if err != nil || y != 1 || len(x) != 2 {
+		t.Fatalf("StructuredOnly: %v %v %v", x, y, err)
+	}
+	x, _, err = StructuredPlusFeature(0)(&r)
+	if err != nil || len(x) != 5 || x[2] != 3 {
+		t.Fatalf("StructuredPlusFeature: %v %v", x, err)
+	}
+	x, _, err = FeatureOnly(0)(&r)
+	if err != nil || len(x) != 3 {
+		t.Fatalf("FeatureOnly: %v %v", x, err)
+	}
+	if _, _, err := StructuredPlusFeature(5)(&r); err == nil {
+		t.Error("out-of-range feature index accepted")
+	}
+	bare := dataflow.Row{ID: 2}
+	if _, _, err := FeatureOnly(0)(&bare); err == nil {
+		t.Error("missing features accepted")
+	}
+	// Rank-2 feature tensors are rejected.
+	r2 := dataflow.Row{Features: tensor.NewTensorList(tensor.New(2, 2))}
+	if _, _, err := StructuredPlusFeature(0)(&r2); err == nil {
+		t.Error("rank-2 feature tensor accepted")
+	}
+}
+
+func TestStructuredPlusConcat(t *testing.T) {
+	r := dataflow.Row{
+		ID: 1, Label: 1,
+		Structured: []float32{1, 2},
+		Features: tensor.NewTensorList(
+			tensor.MustFromSlice([]float32{3, 4}, 2),
+			tensor.MustFromSlice([]float32{5}, 1),
+		),
+	}
+	x, y, err := StructuredPlusConcat(0, 1)(&r)
+	if err != nil || y != 1 {
+		t.Fatalf("concat: %v %v", x, err)
+	}
+	want := []float32{1, 2, 3, 4, 5}
+	if len(x) != len(want) {
+		t.Fatalf("len = %d, want %d", len(x), len(want))
+	}
+	for i := range want {
+		if x[i] != want[i] {
+			t.Fatalf("x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+	if _, _, err := StructuredPlusConcat(0, 5)(&r); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	r2 := dataflow.Row{Features: tensor.NewTensorList(tensor.New(2, 2))}
+	if _, _, err := StructuredPlusConcat(0)(&r2); err == nil {
+		t.Error("rank-2 tensor accepted")
+	}
+}
+
+func TestEvaluateMetrics(t *testing.T) {
+	// A fixed model: predict positive when x[0] >= 0.
+	m := &LogisticRegression{W: []float32{10}, B: 0}
+	rows := []dataflow.Row{
+		{ID: 1, Label: 1, Structured: []float32{1}},  // TP
+		{ID: 2, Label: 0, Structured: []float32{1}},  // FP
+		{ID: 3, Label: 0, Structured: []float32{-1}}, // TN
+		{ID: 4, Label: 1, Structured: []float32{-1}}, // FN
+	}
+	met, err := Evaluate(m, rows, StructuredOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.N != 4 || met.Accuracy != 0.5 || met.Precision != 0.5 || met.Recall != 0.5 || met.F1 != 0.5 {
+		t.Errorf("metrics = %+v", met)
+	}
+	empty, err := Evaluate(m, nil, StructuredOnly())
+	if err != nil || empty.N != 0 {
+		t.Errorf("empty evaluate: %+v, %v", empty, err)
+	}
+}
+
+func TestSplitByIDDeterministicAndDisjoint(t *testing.T) {
+	rows := linearlySeparableRows(1000, 2, 4)
+	tr1, te1 := SplitByID(rows, 0.2)
+	tr2, te2 := SplitByID(rows, 0.2)
+	if len(tr1) != len(tr2) || len(te1) != len(te2) {
+		t.Fatal("split not deterministic")
+	}
+	if len(tr1)+len(te1) != 1000 {
+		t.Fatal("split lost rows")
+	}
+	frac := float64(len(te1)) / 1000
+	if frac < 0.15 || frac > 0.25 {
+		t.Errorf("test fraction = %.3f, want ~0.2", frac)
+	}
+	seen := map[int64]bool{}
+	for _, r := range te1 {
+		seen[r.ID] = true
+	}
+	for _, r := range tr1 {
+		if seen[r.ID] {
+			t.Fatalf("row %d in both splits", r.ID)
+		}
+	}
+}
+
+func TestDecisionTreeLearnsThreshold(t *testing.T) {
+	// Label = x[1] > 0.5: a single split suffices.
+	rng := rand.New(rand.NewSource(5))
+	rows := make([]dataflow.Row, 400)
+	for i := range rows {
+		x := []float32{rng.Float32(), rng.Float32()}
+		label := float32(0)
+		if x[1] > 0.5 {
+			label = 1
+		}
+		rows[i] = dataflow.Row{ID: int64(i), Label: label, Structured: x}
+	}
+	tree, err := TrainTree(rows, StructuredOnly(), TreeConfig{MaxDepth: 3, MinLeafSize: 5})
+	if err != nil {
+		t.Fatalf("TrainTree: %v", err)
+	}
+	met, err := Evaluate(tree, rows, StructuredOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.Accuracy < 0.95 {
+		t.Errorf("tree accuracy = %.3f, want >= 0.95 on axis-aligned data", met.Accuracy)
+	}
+	if tree.Depth() < 2 {
+		t.Error("tree did not split")
+	}
+}
+
+func TestDecisionTreePureLeaf(t *testing.T) {
+	rows := []dataflow.Row{
+		{ID: 1, Label: 1, Structured: []float32{0}},
+		{ID: 2, Label: 1, Structured: []float32{1}},
+	}
+	tree, err := TrainTree(rows, StructuredOnly(), TreeConfig{MaxDepth: 3, MinLeafSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Depth() != 1 {
+		t.Error("pure labels should produce a single leaf")
+	}
+	if tree.Predict([]float32{0.5}) != 1 {
+		t.Error("pure-positive leaf should predict 1")
+	}
+}
+
+func TestTrainTreeValidation(t *testing.T) {
+	if _, err := TrainTree(nil, StructuredOnly(), DefaultTreeConfig()); err == nil {
+		t.Error("accepted empty rows")
+	}
+	rows := linearlySeparableRows(10, 2, 6)
+	if _, err := TrainTree(rows, StructuredOnly(), TreeConfig{MaxDepth: 0}); err == nil {
+		t.Error("accepted zero depth")
+	}
+	mixed := []dataflow.Row{
+		{ID: 1, Structured: []float32{1}},
+		{ID: 2, Structured: []float32{1, 2}},
+	}
+	if _, err := TrainTree(mixed, StructuredOnly(), DefaultTreeConfig()); err == nil {
+		t.Error("accepted inconsistent dims")
+	}
+}
+
+func TestMLPLearnsXOR(t *testing.T) {
+	// XOR is not linearly separable; an MLP with a hidden layer solves it.
+	var rows []dataflow.Row
+	id := int64(0)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 400; i++ {
+		a, b := rng.Intn(2), rng.Intn(2)
+		x := []float32{float32(a) + 0.1*rng.Float32(), float32(b) + 0.1*rng.Float32()}
+		label := float32(a ^ b)
+		rows = append(rows, dataflow.Row{ID: id, Label: label, Structured: x})
+		id++
+	}
+	cfg := MLPConfig{Hidden: []int{8}, Iterations: 300, BatchSize: 16, LearningRate: 0.5, Seed: 3}
+	m, err := TrainMLP(rows, StructuredOnly(), 2, cfg)
+	if err != nil {
+		t.Fatalf("TrainMLP: %v", err)
+	}
+	met, err := Evaluate(m, rows, StructuredOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.Accuracy < 0.9 {
+		t.Errorf("MLP accuracy on XOR = %.3f, want >= 0.9", met.Accuracy)
+	}
+}
+
+func TestMLPValidation(t *testing.T) {
+	if _, err := NewMLP(0, DefaultMLPConfig()); err == nil {
+		t.Error("accepted dim 0")
+	}
+	rows := linearlySeparableRows(10, 2, 8)
+	if _, err := TrainMLP(rows, StructuredOnly(), 2, MLPConfig{Hidden: []int{4}, Iterations: 0, BatchSize: 8}); err == nil {
+		t.Error("accepted zero iterations")
+	}
+	if _, err := TrainMLP(nil, StructuredOnly(), 2, DefaultMLPConfig()); err == nil {
+		t.Error("accepted empty rows")
+	}
+	if _, err := TrainMLP(rows, StructuredOnly(), 7, DefaultMLPConfig()); err == nil {
+		t.Error("accepted wrong dim")
+	}
+}
+
+func TestLogRegPredictShortInput(t *testing.T) {
+	// Predict tolerates x shorter than W (treats missing as zero) rather
+	// than panicking; training validates dims strictly.
+	m := &LogisticRegression{W: []float32{1, 1, 1}, B: 0}
+	if p := m.Predict([]float32{1}); p <= 0.5 {
+		t.Errorf("short-input predict = %v", p)
+	}
+}

@@ -1,0 +1,42 @@
+package optimizer_test
+
+import (
+	"fmt"
+
+	"repro/internal/cnn"
+	"repro/internal/memory"
+	"repro/internal/optimizer"
+)
+
+// ExampleOptimize reproduces the paper's headline optimizer decision: on the
+// Section 5 cluster (8 workers × 32 GB × 8 cores), exploring ResNet50's top
+// 5 layers over a Foods-sized dataset, Algorithm 1 picks 7 cores per worker.
+func ExampleOptimize() {
+	model, _ := cnn.ByName("resnet50")
+	stats, _ := cnn.ComputeStats(model)
+	decision, err := optimizer.Optimize(optimizer.Inputs{
+		ModelStats:         stats,
+		NumLayers:          5,
+		NumRows:            20000,
+		StructDim:          130,
+		ImageRowBytes:      14 << 10,
+		DownstreamMemBytes: optimizer.LogRegMemBytes(130 + 8192),
+		NNodes:             8,
+		MemSys:             memory.GB(32),
+		CPUSys:             8,
+	}, optimizer.DefaultParams())
+	if err != nil {
+		fmt.Println("infeasible:", err)
+		return
+	}
+	fmt.Printf("cpu=%d join=%v pers=%v\n", decision.CPU, decision.Join, decision.Pers)
+	// Output: cpu=7 join=broadcast pers=deserialized
+}
+
+// ExampleEstimateTableSize shows the Equation 16 intermediate-table estimate
+// for a 4096-feature layer over 20k rows with the default α = 2 fudge.
+func ExampleEstimateTableSize() {
+	bytes := optimizer.EstimateTableSize(20000, 4096, 130, 2)
+	fmt.Println(memory.FormatBytes(bytes))
+	// Output: 635.8 MB
+}

@@ -1,0 +1,414 @@
+// Package optimizer implements the Vista optimizer (Section 4.3,
+// Algorithm 1): given the user's inputs (Table 1(A)) it picks the system
+// variables of Table 1(B) — degree of parallelism cpu, number of partitions
+// np, memory apportioning (Storage/User/DL Execution), the physical join
+// operator, and the persistence format — by linear search on cpu subject to
+// the constraints of Equations 9–15, using the intermediate-size estimates of
+// Equation 16 (Appendix A).
+package optimizer
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cnn"
+	"repro/internal/dataflow"
+	"repro/internal/memory"
+)
+
+// Params are the fixed-but-adjustable system parameters of Table 1(C).
+type Params struct {
+	// MemOSReserved is the OS reservation (default 3 GB).
+	MemOSReserved int64
+	// MemCore is Core Memory per best-practice guidelines (default 2.4 GB).
+	MemCore int64
+	// PMax is the maximum data-partition size (default 100 MB).
+	PMax int64
+	// BMax is the maximum broadcast size (default 100 MB).
+	BMax int64
+	// CPUMax caps the searched degree of parallelism (default 8).
+	CPUMax int
+	// Alpha is the fudge factor for the size blow-up of binary feature
+	// vectors as managed-runtime objects (default 2).
+	Alpha float64
+}
+
+// DefaultParams returns the paper's Table 1(C) defaults.
+func DefaultParams() Params {
+	return Params{
+		MemOSReserved: memory.GB(3),
+		MemCore:       memory.MB(2.4 * 1024),
+		PMax:          memory.MB(100),
+		BMax:          memory.MB(100),
+		CPUMax:        8,
+		Alpha:         2,
+	}
+}
+
+// DownstreamPlacement says where the downstream model M's working memory
+// lives (Equations 10–11 distinguish the two cases).
+type DownstreamPlacement int
+
+// Placements for M.
+const (
+	// MInPDUserMemory: M is a PD-system model (e.g. MLlib logistic
+	// regression); its footprint counts against User Memory.
+	MInPDUserMemory DownstreamPlacement = iota
+	// MInDLMemory: M is a DL model (e.g. an MLP on the DL system); its
+	// footprint counts against DL Execution Memory.
+	MInDLMemory
+)
+
+// Inputs are the user-provided quantities of Table 1(A), plus the statistics
+// Vista derives from its roster and the data (Section 4.3).
+type Inputs struct {
+	// ModelStats is the roster CNN's derived statistics (|f|_ser, |f|_mem,
+	// |f|_mem_gpu, feature-layer sizes).
+	ModelStats *cnn.Stats
+	// NumLayers is |L|, counted from the top-most feature layer.
+	NumLayers int
+	// NumRows is the example count.
+	NumRows int
+	// StructDim is ds, the structured feature count.
+	StructDim int
+	// ImageRowBytes is the average raw (compressed) image payload per row;
+	// it sizes the base joined table. When 0, the CNN's input-tensor size
+	// with a conservative 4× compression ratio is assumed.
+	ImageRowBytes int64
+	// WholePartitionDecode marks PD systems whose UDF execution
+	// materializes an entire decoded input partition at once (Ignite-like)
+	// rather than streaming record batches through the DL system
+	// (Spark-like iterators); it inflates the User Memory working set.
+	WholePartitionDecode bool
+	// StorageMustFit marks memory-only PD systems (Ignite configured
+	// without disk backing): feasibility then also requires Storage Memory
+	// to hold the peak intermediate footprint, since there is no spill
+	// path.
+	StorageMustFit bool
+	// DownstreamMemBytes is |M|_mem.
+	DownstreamMemBytes int64
+	// DownstreamGPUMemBytes is |M|_mem_gpu (0 when M runs on CPU).
+	DownstreamGPUMemBytes int64
+	// Placement locates M's working memory.
+	Placement DownstreamPlacement
+	// NNodes is the worker count.
+	NNodes int
+	// MemSys is System Memory per worker.
+	MemSys int64
+	// MemGPU is GPU memory per worker (0 = no GPU).
+	MemGPU int64
+	// CPUSys is the core count per worker.
+	CPUSys int
+}
+
+// Decision is the optimizer's output: the Table 1(B) variables.
+type Decision struct {
+	CPU        int
+	NP         int
+	MemStorage int64
+	MemUser    int64
+	MemDL      int64
+	Join       dataflow.JoinKind
+	Pers       dataflow.PersistFormat
+	// SSingle and SDouble are the peak intermediate sizes (Equations 5–6)
+	// the decision was based on, for reporting.
+	SSingle, SDouble int64
+}
+
+// Apportionment renders the decision as a per-worker memory apportionment.
+func (d Decision) Apportionment(params Params) memory.Apportionment {
+	return memory.Apportionment{
+		OSReserved:  params.MemOSReserved,
+		DLExecution: d.MemDL,
+		User:        d.MemUser,
+		Core:        params.MemCore,
+		Storage:     d.MemStorage,
+	}
+}
+
+// ErrNoFeasible is returned when no cpu value satisfies all constraints —
+// Algorithm 1's "no feasible solution" exception, telling the user to
+// provision more memory.
+var ErrNoFeasible = errors.New("optimizer: no feasible configuration; provision machines with more memory")
+
+// rowOverheadBytes is the fixed per-record overhead of the internal record
+// format (Equation 16's 8 + 8: key plus header words).
+const rowOverheadBytes = 16
+
+// memoryOnlyCompression is the compression a memory-only system's native
+// binary format achieves over deserialized bytes (Ignite, Section 4.2.3).
+const memoryOnlyCompression = 2.2
+
+// EstimateTableSize implements Equation 16: the size of intermediate table
+// T_i holding feature layer l with |g_l(f̂_l(I))| features, as
+// α1·(8 + 8 + 4·dim)·rows + |Tstr|.
+func EstimateTableSize(numRows, featureDim, structDim int, alpha float64) int64 {
+	perRow := float64(rowOverheadBytes + 4*featureDim)
+	return int64(alpha*perRow)*int64(numRows) + StructTableSize(numRows, structDim)
+}
+
+// StructTableSize estimates |Tstr|.
+func StructTableSize(numRows, structDim int) int64 {
+	return int64(numRows) * int64(rowOverheadBytes+4*structDim)
+}
+
+// IntermediateSizes returns |T_i| for every selected layer (bottom-to-top)
+// plus s_single and s_double (Equations 5–6). Beyond the paper's Equation 16
+// (which sizes only the flattened feature columns), the estimates also cover
+// what the Staged plan actually materializes: the joined base table holding
+// the raw images, and the unpooled raw tensor each non-final stage carries
+// forward for partial inference. Both flow through the same UDF working
+// memory, so omitting them would under-budget User Memory.
+func IntermediateSizes(in Inputs, params Params) (sizes []int64, sSingle, sDouble int64, err error) {
+	layers, err := in.ModelStats.TopLayerStats(in.NumLayers)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	imgBytes := in.ImageRowBytes
+	if imgBytes <= 0 {
+		imgBytes = in.ModelStats.InputBytes / 4
+	}
+	base := StructTableSize(in.NumRows, in.StructDim) + int64(in.NumRows)*imgBytes
+	sSingle = base
+
+	sizes = make([]int64, len(layers))
+	for i, l := range layers {
+		// T_i holds the layer's raw (unpooled) tensor: under Staged it is
+		// the partial-inference carry, and g_l pooling happens at training
+		// time. Pooled vectors are never larger, so this bounds the real
+		// engine safely too.
+		sizes[i] = EstimateTableSize(in.NumRows, l.RawElems, in.StructDim, params.Alpha)
+		if sizes[i] > sSingle {
+			sSingle = sizes[i]
+		}
+	}
+	tstr := StructTableSize(in.NumRows, in.StructDim)
+	sDouble = base + sizes[0] - tstr
+	for i := 0; i+1 < len(sizes); i++ {
+		if d := sizes[i] + sizes[i+1] - tstr; d > sDouble {
+			sDouble = d
+		}
+	}
+	return sizes, sSingle, sDouble, nil
+}
+
+// StagedPeakBytes estimates (without the α fudge) the peak cluster-wide
+// cached footprint of the Staged plan: the base joined table plus the two
+// largest adjacent stage tables, each holding the stage's raw carry, pooled
+// feature vector, and the structured columns.
+func StagedPeakBytes(in Inputs) (int64, error) {
+	layers, err := in.ModelStats.TopLayerStats(in.NumLayers)
+	if err != nil {
+		return 0, err
+	}
+	imgBytes := in.ImageRowBytes
+	if imgBytes <= 0 {
+		imgBytes = in.ModelStats.InputBytes / 4
+	}
+	rows := int64(in.NumRows)
+	tstr := StructTableSize(in.NumRows, in.StructDim)
+	base := tstr + rows*imgBytes
+	table := func(i int) int64 {
+		l := layers[i]
+		return rows*(rowOverheadBytes+l.RawBytes+4*int64(l.FeatureDim)) + tstr
+	}
+	peak := base + table(0)
+	for i := 0; i+1 < len(layers); i++ {
+		if v := base + table(i) + table(i+1); v > peak {
+			peak = v
+		}
+	}
+	return peak, nil
+}
+
+// NumPartitions implements Algorithm 1's helper: the smallest multiple of
+// the total core count whose partitions stay under PMax (Equations 13–14).
+func NumPartitions(sSingle int64, cpu, nNodes int, pMax int64) int {
+	totalCores := cpu * nNodes
+	if totalCores <= 0 {
+		return 1
+	}
+	mult := (sSingle + pMax*int64(totalCores) - 1) / (pMax * int64(totalCores))
+	if mult < 1 {
+		mult = 1
+	}
+	return int(mult) * totalCores
+}
+
+// validate sanity-checks the optimizer inputs.
+func validate(in Inputs) error {
+	switch {
+	case in.ModelStats == nil:
+		return fmt.Errorf("optimizer: nil model stats")
+	case in.NumLayers <= 0:
+		return fmt.Errorf("optimizer: |L| must be positive, got %d", in.NumLayers)
+	case in.NumRows <= 0:
+		return fmt.Errorf("optimizer: no rows")
+	case in.StructDim < 0:
+		return fmt.Errorf("optimizer: negative struct dim")
+	case in.NNodes <= 0:
+		return fmt.Errorf("optimizer: no worker nodes")
+	case in.CPUSys <= 0:
+		return fmt.Errorf("optimizer: no cores")
+	case in.MemSys <= 0:
+		return fmt.Errorf("optimizer: no system memory")
+	}
+	return nil
+}
+
+// Optimize implements Algorithm 1 (OptimizeFeatureTransfer): linear search on
+// cpu from min(cpu_sys, cpu_max)−1 down to 1, maximizing cpu (Equation 8)
+// subject to Equations 9–15.
+func Optimize(in Inputs, params Params) (Decision, error) {
+	if err := validate(in); err != nil {
+		return Decision{}, err
+	}
+	_, sSingle, sDouble, err := IntermediateSizes(in, params)
+	if err != nil {
+		return Decision{}, err
+	}
+	st := in.ModelStats
+
+	upper := in.CPUSys
+	if params.CPUMax < upper {
+		upper = params.CPUMax
+	}
+	upper-- // leave one core for the OS (Equation 9)
+
+	for x := upper; x >= 1; x-- {
+		// GPU constraint (Equation 15).
+		if in.MemGPU > 0 {
+			gpuNeed := int64(x) * max64(st.GPUMemBytes, in.DownstreamGPUMemBytes)
+			if gpuNeed >= in.MemGPU {
+				continue
+			}
+		}
+		np := NumPartitions(sSingle, x, in.NNodes, params.PMax)
+
+		// DL Execution Memory (Equation 11).
+		memDL := DLMemoryNeed(in, x)
+
+		// User Memory (Equation 10).
+		memUser := UserMemoryNeed(in, x, np, params)
+
+		memWorker := in.MemSys - params.MemOSReserved - memDL
+		if in.StorageMustFit {
+			// Memory-only system: Storage must fit the peak footprint
+			// (compressed; such systems store a compressed binary format,
+			// Section 4.2.3), so the feasibility bar is higher.
+			peak, err := StagedPeakBytes(in)
+			if err != nil {
+				return Decision{}, err
+			}
+			needStorage := int64(float64(peak) / memoryOnlyCompression / float64(in.NNodes))
+			if memWorker-memUser-params.MemCore < needStorage {
+				continue
+			}
+		}
+		if memWorker-memUser > params.MemCore {
+			d := Decision{
+				CPU:        x,
+				NP:         np,
+				MemDL:      memDL,
+				MemUser:    memUser,
+				MemStorage: memWorker - memUser - params.MemCore,
+				Join:       dataflow.ShuffleJoin,
+				Pers:       dataflow.Deserialized,
+				SSingle:    sSingle,
+				SDouble:    sDouble,
+			}
+			if StructTableSize(in.NumRows, in.StructDim) < params.BMax {
+				d.Join = dataflow.BroadcastJoin
+			}
+			// Algorithm 1 line 15: serialize when disk spills or cache
+			// misses are likely — the per-worker share of the peak
+			// two-table footprint exceeds Storage Memory.
+			if d.MemStorage < sDouble/int64(in.NNodes) {
+				d.Pers = dataflow.Serialized
+			}
+			return d, nil
+		}
+	}
+	return Decision{}, ErrNoFeasible
+}
+
+// DLMemoryNeed is the actual DL Execution Memory a configuration consumes
+// (Equation 11): cpu model replicas, plus the downstream model when it also
+// runs on the DL system. Shared by the optimizer and the crash model of
+// internal/sim, so a Vista-chosen configuration is consistent with the
+// simulator's accounting by construction.
+func DLMemoryNeed(in Inputs, cpu int) int64 {
+	need := int64(cpu) * in.ModelStats.MemBytes
+	if in.Placement == MInDLMemory {
+		need = max64(need, int64(cpu)*in.DownstreamMemBytes)
+	}
+	return need
+}
+
+// inferenceBatchImages is how many decoded image tensors one UDF thread
+// buffers at a time when feeding the DL system (TensorFrames-style
+// batching); partitions stream through, so only a batch is resident.
+const inferenceBatchImages = 8
+
+// UserMemoryNeed is the actual User Memory a configuration consumes
+// (Equation 10, extended): the serialized model, plus per-core UDF working
+// sets — the materialized output feature partition, a decoded input batch,
+// and inference activation buffers — all α-inflated for managed-runtime
+// overhead.
+func UserMemoryNeed(in Inputs, cpu, np int, params Params) int64 {
+	_, sSingle, _, err := IntermediateSizes(in, params)
+	if err != nil || np <= 0 {
+		return int64(^uint64(0) >> 1) // force infeasible on bad inputs
+	}
+	featPart := ceilDiv(sSingle, int64(np))
+	batch := int64(inferenceBatchImages) * in.ModelStats.InputBytes
+	decode := batch
+	if in.WholePartitionDecode {
+		if whole := ceilDiv(int64(in.NumRows)*in.ModelStats.InputBytes, int64(np)); whole > decode {
+			decode = whole
+		}
+	}
+	// decode buffers + the DL system's own input batch copy + activations.
+	working := featPart + decode + batch + in.ModelStats.ActivationWorkingBytes
+	need := in.ModelStats.SerializedBytes + int64(float64(cpu)*params.Alpha*float64(working))
+	if in.Placement == MInPDUserMemory {
+		need = max64(need, int64(cpu)*in.DownstreamMemBytes)
+	}
+	return need
+}
+
+// LogRegMemBytes estimates |M|_mem for a logistic regression over dim
+// features: weights, gradients, and accumulation buffers, plus a fixed
+// training-framework overhead ("for logistic regression, |M| is proportional
+// to the sum of structured features and the maximum number of CNN features
+// for any layer", Section 4.3).
+func LogRegMemBytes(dim int) int64 {
+	return int64(dim)*4*8 + memory.MB(16)
+}
+
+// MLPMemBytes estimates |M|_mem for an MLP with the given hidden widths over
+// dim input features: parameters ×4 B ×3 (weights, gradients, activations)
+// plus framework overhead.
+func MLPMemBytes(dim int, hidden []int) int64 {
+	widths := append([]int{dim}, hidden...)
+	widths = append(widths, 1)
+	var params int64
+	for i := 0; i+1 < len(widths); i++ {
+		params += int64(widths[i])*int64(widths[i+1]) + int64(widths[i+1])
+	}
+	return params*4*3 + memory.MB(64)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func ceilDiv(a, b int64) int64 {
+	if b <= 0 {
+		return a
+	}
+	return (a + b - 1) / b
+}

@@ -1,0 +1,422 @@
+package optimizer
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cnn"
+	"repro/internal/dataflow"
+	"repro/internal/memory"
+)
+
+// paperCluster returns the CloudLab setup of Section 5: 8 workers, 32 GB RAM,
+// 8 cores each.
+func paperCluster(t *testing.T, model string, layers, rows, structDim int) Inputs {
+	t.Helper()
+	m, err := cnn.ByName(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := cnn.ComputeStats(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxDim := structDim
+	ls, err := st.TopLayerStats(layers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range ls {
+		if l.FeatureDim+structDim > maxDim {
+			maxDim = l.FeatureDim + structDim
+		}
+	}
+	return Inputs{
+		ModelStats:         st,
+		NumLayers:          layers,
+		NumRows:            rows,
+		StructDim:          structDim,
+		DownstreamMemBytes: LogRegMemBytes(maxDim),
+		Placement:          MInPDUserMemory,
+		NNodes:             8,
+		MemSys:             memory.GB(32),
+		CPUSys:             8,
+	}
+}
+
+func TestOptimizerPicksPaperCPUValues(t *testing.T) {
+	// Figure 11: "the Vista optimizer picks either optimal or near-optimal
+	// cpu values; AlexNet: 7, VGG16: 4, and ResNet50: 7" (Foods, 8 nodes).
+	tests := []struct {
+		model   string
+		layers  int
+		wantCPU int
+	}{
+		{"alexnet", 4, 7},
+		{"vgg16", 3, 4},
+		{"resnet50", 5, 7},
+	}
+	for _, tc := range tests {
+		t.Run(tc.model, func(t *testing.T) {
+			in := paperCluster(t, tc.model, tc.layers, 20000, 130)
+			d, err := Optimize(in, DefaultParams())
+			if err != nil {
+				t.Fatalf("Optimize: %v", err)
+			}
+			if d.CPU != tc.wantCPU {
+				t.Errorf("cpu = %d, want %d (paper Figure 11)", d.CPU, tc.wantCPU)
+			}
+		})
+	}
+}
+
+func TestOptimizerNPMultipleOfCores(t *testing.T) {
+	// Equation 13: np must be a multiple of cpu × nnodes.
+	in := paperCluster(t, "resnet50", 5, 20000, 130)
+	d, err := Optimize(in, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NP%(d.CPU*in.NNodes) != 0 {
+		t.Errorf("np = %d not a multiple of cpu×nnodes = %d", d.NP, d.CPU*in.NNodes)
+	}
+	// Equation 14: partitions under PMax.
+	if part := d.SSingle / int64(d.NP); part >= DefaultParams().PMax {
+		t.Errorf("partition size %d >= pmax", part)
+	}
+}
+
+func TestOptimizerMemoryConstraint(t *testing.T) {
+	// Equation 12: the apportionment must fit system memory.
+	for _, model := range []string{"alexnet", "vgg16", "resnet50"} {
+		in := paperCluster(t, model, 3, 20000, 130)
+		d, err := Optimize(in, DefaultParams())
+		if err != nil {
+			t.Fatalf("%s: %v", model, err)
+		}
+		a := d.Apportionment(DefaultParams())
+		if err := a.Validate(in.MemSys); err != nil {
+			t.Errorf("%s: apportionment exceeds system memory: %v", model, err)
+		}
+		if d.MemStorage <= 0 {
+			t.Errorf("%s: non-positive storage memory", model)
+		}
+	}
+}
+
+func TestOptimizerBroadcastDecision(t *testing.T) {
+	// Small Tstr (under bmax) → broadcast; huge Tstr → shuffle.
+	small := paperCluster(t, "alexnet", 4, 20000, 130)
+	d, err := Optimize(small, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Join != dataflow.BroadcastJoin {
+		t.Errorf("small Tstr: join = %v, want broadcast", d.Join)
+	}
+	big := paperCluster(t, "alexnet", 4, 200000, 10000) // 200k × 10k features ≈ 8 GB
+	d, err = Optimize(big, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Join != dataflow.ShuffleJoin {
+		t.Errorf("large Tstr: join = %v, want shuffle", d.Join)
+	}
+}
+
+func TestOptimizerSerializationDecision(t *testing.T) {
+	// Foods fits in memory → deserialized; a large scale of ResNet
+	// (8× Amazon-like) overflows per-worker storage → serialized.
+	fits := paperCluster(t, "alexnet", 4, 20000, 130)
+	d, err := Optimize(fits, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Pers != dataflow.Deserialized {
+		t.Errorf("fitting workload: pers = %v, want deserialized", d.Pers)
+	}
+	spills := paperCluster(t, "resnet50", 5, 1600000, 130)
+	d, err = Optimize(spills, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Pers != dataflow.Serialized {
+		t.Errorf("overflowing workload: pers = %v, want serialized (sdouble %s vs storage %s)",
+			d.Pers, memory.FormatBytes(d.SDouble/8), memory.FormatBytes(d.MemStorage))
+	}
+}
+
+func TestOptimizerNoFeasible(t *testing.T) {
+	in := paperCluster(t, "vgg16", 3, 20000, 130)
+	in.MemSys = memory.GB(8) // too small for even one VGG16 replica + core
+	_, err := Optimize(in, DefaultParams())
+	if !errors.Is(err, ErrNoFeasible) {
+		t.Errorf("expected ErrNoFeasible, got %v", err)
+	}
+}
+
+func TestOptimizerGPUConstraint(t *testing.T) {
+	// Figure 7A setup: single node, 12 GB GPU. VGG16 replicas are ~2.6 GB
+	// on device, so cpu must drop below 5 (Equation 15) — the paper's
+	// Lazy-5/Lazy-7 VGG16 GPU crashes are exactly configs that ignore this.
+	in := paperCluster(t, "vgg16", 3, 20000, 130)
+	in.NNodes = 1
+	in.MemGPU = memory.GB(12)
+	d, err := Optimize(in, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := in.ModelStats
+	if int64(d.CPU)*st.GPUMemBytes >= in.MemGPU {
+		t.Errorf("cpu = %d violates GPU memory: %d replicas × %s >= 12 GB",
+			d.CPU, d.CPU, memory.FormatBytes(st.GPUMemBytes))
+	}
+	if d.CPU >= 5 {
+		t.Errorf("cpu = %d, want < 5 (5 VGG16 GPU replicas exceed 12 GB in the paper)", d.CPU)
+	}
+}
+
+func TestOptimizerValidation(t *testing.T) {
+	good := paperCluster(t, "alexnet", 4, 1000, 10)
+	cases := []func(*Inputs){
+		func(i *Inputs) { i.ModelStats = nil },
+		func(i *Inputs) { i.NumLayers = 0 },
+		func(i *Inputs) { i.NumRows = 0 },
+		func(i *Inputs) { i.StructDim = -1 },
+		func(i *Inputs) { i.NNodes = 0 },
+		func(i *Inputs) { i.CPUSys = 0 },
+		func(i *Inputs) { i.MemSys = 0 },
+		func(i *Inputs) { i.NumLayers = 99 }, // more layers than the model has
+	}
+	for i, mutate := range cases {
+		in := good
+		mutate(&in)
+		if _, err := Optimize(in, DefaultParams()); err == nil {
+			t.Errorf("case %d: invalid inputs accepted", i)
+		}
+	}
+}
+
+func TestEstimateTableSize(t *testing.T) {
+	// Equation 16 with α = 2: 2·(16 + 4·dim)·rows + |Tstr|.
+	got := EstimateTableSize(100, 10, 5, 2)
+	want := int64(2*(16+40)*100) + StructTableSize(100, 5)
+	if got != want {
+		t.Errorf("EstimateTableSize = %d, want %d", got, want)
+	}
+	if StructTableSize(100, 5) != 100*(16+20) {
+		t.Errorf("StructTableSize = %d", StructTableSize(100, 5))
+	}
+}
+
+func TestIntermediateSizesOrdering(t *testing.T) {
+	in := paperCluster(t, "resnet50", 5, 20000, 130)
+	sizes, sSingle, sDouble, err := IntermediateSizes(in, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sizes) != 5 {
+		t.Fatalf("got %d sizes, want 5", len(sizes))
+	}
+	var maxSize int64
+	for _, s := range sizes {
+		if s > maxSize {
+			maxSize = s
+		}
+	}
+	if sSingle != maxSize {
+		t.Errorf("sSingle = %d, want max %d", sSingle, maxSize)
+	}
+	if sDouble <= sSingle {
+		// Two adjacent tables minus Tstr must exceed the single max for
+		// ResNet's similar-sized conv5 layers.
+		t.Errorf("sDouble = %d not above sSingle = %d", sDouble, sSingle)
+	}
+}
+
+func TestIntermediateSizesSingleLayer(t *testing.T) {
+	in := paperCluster(t, "alexnet", 1, 1000, 10)
+	in.ImageRowBytes = 14 << 10 // paper's ~14 KB JPEG
+	sizes, sSingle, sDouble, err := IntermediateSizes(in, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sizes) != 1 {
+		t.Fatalf("sizes = %v, want 1 entry", sizes)
+	}
+	base := StructTableSize(1000, 10) + 1000*(14<<10)
+	if sSingle != max64(base, sizes[0]) {
+		t.Errorf("sSingle = %d, want max(base %d, T0 %d)", sSingle, base, sizes[0])
+	}
+	if want := base + sizes[0] - StructTableSize(1000, 10); sDouble != want {
+		t.Errorf("sDouble = %d, want base+T0−Tstr = %d", sDouble, want)
+	}
+}
+
+func TestNumPartitions(t *testing.T) {
+	// 1 GB across 4×2 cores with 100 MB cap: needs ceil(1024/800)=2
+	// multiples → 16 partitions.
+	np := NumPartitions(memory.GB(1), 4, 2, memory.MB(100))
+	if np != 16 {
+		t.Errorf("np = %d, want 16", np)
+	}
+	// Tiny data: one partition per core.
+	np = NumPartitions(memory.MB(1), 4, 2, memory.MB(100))
+	if np != 8 {
+		t.Errorf("np = %d, want 8", np)
+	}
+	if NumPartitions(100, 0, 0, memory.MB(100)) != 1 {
+		t.Error("degenerate core count should yield 1")
+	}
+}
+
+// Property: for any valid inputs, a returned decision satisfies every
+// Algorithm 1 constraint.
+func TestOptimizerConstraintsProperty(t *testing.T) {
+	m := cnn.ResNet50()
+	st, err := cnn.ComputeStats(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := DefaultParams()
+	f := func(rowSeed uint16, nodeSeed, cpuSeed, memSeed uint8) bool {
+		in := Inputs{
+			ModelStats:         st,
+			NumLayers:          int(nodeSeed%5) + 1,
+			NumRows:            int(rowSeed)*100 + 1000,
+			StructDim:          int(cpuSeed)%500 + 1,
+			DownstreamMemBytes: memory.MB(32),
+			NNodes:             int(nodeSeed%8) + 1,
+			MemSys:             memory.GB(float64(memSeed%48) + 8),
+			CPUSys:             int(cpuSeed%16) + 1,
+		}
+		d, err := Optimize(in, params)
+		if errors.Is(err, ErrNoFeasible) {
+			return true // infeasible is a legitimate outcome
+		}
+		if err != nil {
+			return false
+		}
+		// Equation 9.
+		if d.CPU < 1 || d.CPU > minInt(in.CPUSys, params.CPUMax)-1 {
+			return false
+		}
+		// Equation 12.
+		if d.Apportionment(params).Validate(in.MemSys) != nil {
+			return false
+		}
+		// Equation 13.
+		if d.NP%(d.CPU*in.NNodes) != 0 {
+			return false
+		}
+		// Equation 14.
+		return d.SSingle/int64(d.NP) < params.PMax
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestMemoryOnlyConstraint(t *testing.T) {
+	// A memory-only (Ignite-like) system adds the storage-must-fit
+	// constraint: for Amazon/ResNet50 it lowers or keeps cpu while still
+	// finding a feasible configuration (Vista never crashes on Ignite).
+	in := paperCluster(t, "resnet50", 5, 200000, 200)
+	in.ImageRowBytes = 14 << 10
+	spark, err := Optimize(in, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.StorageMustFit = true
+	in.WholePartitionDecode = true
+	ignite, err := Optimize(in, DefaultParams())
+	if err != nil {
+		t.Fatalf("memory-only workload should stay feasible: %v", err)
+	}
+	if ignite.CPU > spark.CPU {
+		t.Errorf("memory-only cpu %d exceeds spillable cpu %d", ignite.CPU, spark.CPU)
+	}
+	peak, err := StagedPeakBytes(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	need := int64(float64(peak) / memoryOnlyCompression / float64(in.NNodes))
+	if ignite.MemStorage < need {
+		t.Errorf("storage %d below the memory-only floor %d", ignite.MemStorage, need)
+	}
+}
+
+func TestStagedPeakBytes(t *testing.T) {
+	in := paperCluster(t, "resnet50", 5, 20000, 130)
+	in.ImageRowBytes = 14 << 10
+	peak, err := StagedPeakBytes(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two adjacent raw conv tables dominate: conv4_6 (16 GB) + conv5_1
+	// (8 GB) + base; peak must land between 20 and 40 GB.
+	if peak < 20<<30 || peak > 40<<30 {
+		t.Errorf("staged peak = %s, expected 20-40 GB", memory.FormatBytes(peak))
+	}
+	bad := in
+	bad.NumLayers = 99
+	if _, err := StagedPeakBytes(bad); err == nil {
+		t.Error("oversized layer count accepted")
+	}
+	// Default image size falls back to InputBytes/4 when unset.
+	in.ImageRowBytes = 0
+	if _, err := StagedPeakBytes(in); err != nil {
+		t.Errorf("default image bytes failed: %v", err)
+	}
+}
+
+func TestDLMemoryNeedPlacements(t *testing.T) {
+	in := paperCluster(t, "alexnet", 4, 1000, 10)
+	in.DownstreamMemBytes = memory.GB(100) // enormous M
+	pd := DLMemoryNeed(in, 4)
+	in.Placement = MInDLMemory
+	dl := DLMemoryNeed(in, 4)
+	if dl <= pd {
+		t.Errorf("DL-resident M should raise DL need: %d vs %d", dl, pd)
+	}
+	// And the same giant M in PD placement raises User need instead.
+	in.Placement = MInPDUserMemory
+	if UserMemoryNeed(in, 4, 64, DefaultParams()) < 4*memory.GB(100) {
+		t.Error("PD-resident M should dominate User need")
+	}
+}
+
+func TestUserMemoryNeedBadInputs(t *testing.T) {
+	in := paperCluster(t, "alexnet", 4, 1000, 10)
+	if UserMemoryNeed(in, 4, 0, DefaultParams()) < memory.GB(1000) {
+		t.Error("np=0 should force an infeasible (huge) need")
+	}
+	bad := in
+	bad.NumLayers = 99
+	if UserMemoryNeed(bad, 4, 64, DefaultParams()) < memory.GB(1000) {
+		t.Error("broken inputs should force an infeasible need")
+	}
+}
+
+func TestDownstreamMemEstimates(t *testing.T) {
+	if LogRegMemBytes(1000) <= LogRegMemBytes(10) {
+		t.Error("LogRegMemBytes not monotone in dim")
+	}
+	small := MLPMemBytes(100, []int{32})
+	big := MLPMemBytes(8000, []int{1024, 1024})
+	if big <= small {
+		t.Error("MLPMemBytes not monotone in network size")
+	}
+	// The paper's 3-layer 1024-unit MLP over ~8k features is ~10M params.
+	if big < memory.MB(100) {
+		t.Errorf("large MLP estimate %s implausibly small", memory.FormatBytes(big))
+	}
+}

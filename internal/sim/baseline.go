@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"repro/internal/dataflow"
+	"repro/internal/memory"
+	"repro/internal/optimizer"
+)
+
+func defaultParams() optimizer.Params { return optimizer.DefaultParams() }
+
+// baselineTunedNP picks a partition count for the tuned baselines: the
+// optimizer's Equation 13/14 helper at the given cpu.
+func baselineTunedNP(w Workload, cpu int) int {
+	_, sSingle, _, err := optimizer.IntermediateSizes(w.Inputs, defaultParams())
+	if err != nil {
+		return sparkDefaultNP
+	}
+	return optimizer.NumPartitions(sSingle, cpu, w.Inputs.NNodes, defaultParams().PMax)
+}
+
+func userNeedFor(w Workload, cpu, np int) int64 {
+	return optimizer.UserMemoryNeed(w.Inputs, cpu, np, defaultParams())
+}
+
+// Baseline configurations of Section 5.1. These reproduce the paper's
+// "current dominant practice": best-practice SQL-era tuning guides with no
+// awareness of CNN footprints, which is precisely what makes them
+// crash-prone.
+
+// sparkDefaultNP is Spark's default shuffle partition count.
+const sparkDefaultNP = 200
+
+// igniteDefaultNP is the paper's Ignite partition default ("np set to the
+// default 1024").
+const igniteDefaultNP = 1024
+
+// BaselineSpark returns the Lazy-k Spark config: 29 GB JVM heap on a 32 GB
+// node, 40% User Memory, shuffle join, deserialized persistence, default np
+// — and, crucially, no budget at all for the DL system.
+func BaselineSpark(cpu int) Config {
+	return Config{
+		CPU:       cpu,
+		NP:        sparkDefaultNP,
+		Apportion: memory.BaselineSparkApportionment(memory.GB(32), memory.GB(29)),
+		Join:      dataflow.ShuffleJoin,
+		Pers:      dataflow.Deserialized,
+	}
+}
+
+// BaselineIgnite returns the Lazy-k Ignite config: 4 GB JVM heap, 25 GB
+// static off-heap Storage, default 1024 partitions.
+func BaselineIgnite(cpu int) Config {
+	return Config{
+		CPU:       cpu,
+		NP:        igniteDefaultNP,
+		Apportion: memory.BaselineIgniteApportionment(memory.GB(32), memory.GB(4), memory.GB(25)),
+		Join:      dataflow.ShuffleJoin,
+		Pers:      dataflow.Deserialized,
+	}
+}
+
+// TunedBaseline returns the "strong baseline" config of Section 5.1 (used
+// for Lazy-5 with Pre-mat and Eager): like Vista, it explicitly apportions
+// CNN inference, Storage, User, and Core memory — "note that Lazy-5 with
+// Pre-mat and Eager actually need parts of our code from Vista" — but keeps
+// the fixed degree of parallelism.
+func TunedBaseline(w Workload, cpu int) Config {
+	in := w.Inputs
+	params := defaultParams()
+	np := baselineTunedNP(w, cpu)
+	dl := int64(cpu) * in.ModelStats.MemBytes
+	user := userNeedFor(w, cpu, np)
+	storage := memory.GB(32) - params.MemOSReserved - params.MemCore - dl - user
+	if storage < 0 {
+		storage = 0
+	}
+	return Config{
+		CPU: cpu,
+		NP:  np,
+		Apportion: memory.Apportionment{
+			OSReserved:  params.MemOSReserved,
+			DLExecution: dl,
+			User:        user,
+			Core:        params.MemCore,
+			Storage:     storage,
+		},
+		Join: dataflow.ShuffleJoin,
+		Pers: dataflow.Deserialized,
+	}
+}

@@ -1,0 +1,530 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dataflow"
+	"repro/internal/memory"
+	"repro/internal/optimizer"
+	"repro/internal/plan"
+)
+
+// Workload describes one feature-transfer job for the simulator.
+type Workload struct {
+	// Plan is the compiled logical plan (carries the CNN's selected layer
+	// statistics and per-step FLOP counts).
+	Plan *plan.Plan
+	// Inputs are the optimizer-level inputs (model stats, rows, dims,
+	// image bytes, downstream footprint) the crash model shares with the
+	// optimizer.
+	Inputs optimizer.Inputs
+	// TrainIters is the downstream model's iteration count (paper: 10).
+	TrainIters int
+}
+
+// Config is the system configuration under test: either an optimizer
+// Decision (Vista) or a hand-built baseline.
+type Config struct {
+	CPU, NP   int
+	Apportion memory.Apportionment
+	Join      dataflow.JoinKind
+	Pers      dataflow.PersistFormat
+}
+
+// FromDecision converts an optimizer decision into a simulator config.
+func FromDecision(d optimizer.Decision, params optimizer.Params) Config {
+	return Config{
+		CPU:       d.CPU,
+		NP:        d.NP,
+		Apportion: d.Apportionment(params),
+		Join:      d.Join,
+		Pers:      d.Pers,
+	}
+}
+
+// LayerCost is the per-layer runtime breakdown (Table 3's rows).
+type LayerCost struct {
+	Layer string
+	// InferSec is partial CNN inference for this layer's stage.
+	InferSec float64
+	// TrainFirstSec is the downstream model's first iteration, which scans
+	// the stage's materialized table (Appendix C: the first iteration
+	// dominates).
+	TrainFirstSec float64
+	// TrainRestSec is the remaining iterations over pooled features.
+	TrainRestSec float64
+	// JoinSec is per-layer join cost (BJ placement only).
+	JoinSec float64
+	// SpillSec is disk-spill I/O attributed to this layer's stage.
+	SpillSec float64
+}
+
+// Total returns the layer's total seconds.
+func (l LayerCost) Total() float64 {
+	return l.InferSec + l.TrainFirstSec + l.TrainRestSec + l.JoinSec + l.SpillSec
+}
+
+// Result is a simulated run.
+type Result struct {
+	// Crash is non-nil when the configuration hits a Section 4.1 crash
+	// scenario; costs are then undefined.
+	Crash error
+	// ReadSec is input ingestion (struct file + the images' small-files
+	// penalty).
+	ReadSec float64
+	// JoinSec is the up-front join cost (AJ placement).
+	JoinSec float64
+	// Layers is the per-layer breakdown.
+	Layers []LayerCost
+	// SpilledBytes is total spill traffic.
+	SpilledBytes int64
+	// PeakStoragePerNode is the high-water cached footprint per worker.
+	PeakStoragePerNode int64
+}
+
+// TotalSec returns the run's total simulated seconds.
+func (r *Result) TotalSec() float64 {
+	t := r.ReadSec + r.JoinSec
+	for _, l := range r.Layers {
+		t += l.Total()
+	}
+	return t
+}
+
+// TotalMin returns the run's total simulated minutes.
+func (r *Result) TotalMin() float64 { return r.TotalSec() / 60 }
+
+// serializedCompression is the average compression the serialized
+// persistence format achieves over deserialized bytes (Appendix A,
+// Figure 15: ~2–4× depending on feature sparsity; a flat factor here).
+const serializedCompression = 2.2
+
+// model is the simulator's internal, fully resolved view of one run.
+type model struct {
+	w    Workload
+	cfg  Config
+	prof Profile
+
+	rows  float64
+	tstr  float64 // |Tstr| bytes
+	timg  float64 // |Timg| bytes
+	base  float64 // cached base (joined for AJ; Tstr+Timg for BJ)
+	// stage/table sizes, indexed by position in Plan.Layers
+	tableBytes  []float64 // what each layer's intermediate table holds
+	pooledBytes []float64 // pooled training projection per layer
+	compressed  bool      // storage holds compressed (serialized) bytes
+}
+
+func newModel(w Workload, cfg Config, prof Profile) *model {
+	m := &model{w: w, cfg: cfg, prof: prof, rows: float64(w.Inputs.NumRows)}
+	m.tstr = float64(optimizer.StructTableSize(w.Inputs.NumRows, w.Inputs.StructDim))
+	m.timg = m.rows * float64(w.Inputs.ImageRowBytes)
+	m.base = m.tstr + m.timg
+	// Ignite always stores a compressed binary format (Section 4.2.3);
+	// Spark compresses only under the serialized persistence choice.
+	m.compressed = cfg.Pers == dataflow.Serialized || !prof.Kind.SupportsSpill()
+
+	m.tableBytes = make([]float64, len(w.Plan.Layers))
+	m.pooledBytes = make([]float64, len(w.Plan.Layers))
+	for i, l := range w.Plan.Layers {
+		pooled := m.rows * 4 * float64(w.Inputs.StructDim+l.FeatureDim)
+		m.pooledBytes[i] = pooled
+		switch {
+		case i == w.Plan.PreMaterializedBase:
+			// The pre-materialized base must hold the raw tensor so later
+			// partial inference can continue from it (Appendix B).
+			m.tableBytes[i] = m.rows*float64(16+l.RawBytes) + m.tstrShare()
+		case w.Plan.Kind == plan.Lazy:
+			// The manual approach exports g_l-pooled feature vectors.
+			m.tableBytes[i] = m.rows*float64(16+4*l.FeatureDim) + m.tstrShare()
+		case w.Plan.Kind == plan.Eager:
+			// One pass writes every layer's raw tensor (pooling happens at
+			// training time) — the Section 1.1 blow-up.
+			m.tableBytes[i] = m.rows*float64(16+l.RawBytes) + m.tstrShare()
+		default: // Staged: emitted pooled vector + the raw carry
+			m.tableBytes[i] = m.rows*float64(16+4*l.FeatureDim+int(l.RawBytes)) + m.tstrShare()
+		}
+	}
+	return m
+}
+
+// PreMaterializationCost simulates materializing the bottom-most selected
+// layer ahead of time (Appendix B): read the images, run partial inference
+// from the image to the base layer, and write the raw feature table to
+// disk. It is reported separately, as in Figures 6 and 16.
+func PreMaterializationCost(w Workload, cfg Config, prof Profile) Result {
+	if err := validateRun(w, cfg, prof); err != nil {
+		return Result{Crash: err}
+	}
+	m := newModel(w, cfg, prof)
+	nodes := float64(prof.Nodes)
+	base := w.Plan.Layers[0]
+	res := Result{}
+	res.ReadSec = m.rows*prof.PerImageReadMs/1000/math.Pow(nodes, prof.ReadParallelExp) +
+		(m.timg+m.tstr)/(nodes*prof.DiskMBps*mb)
+	nodeGFLOPS := prof.BaseGFLOPS * parallelEfficiency(cfg.CPU) * computeEfficiency(w.Inputs.ModelStats.ModelName)
+	if prof.GPU != nil {
+		nodeGFLOPS = prof.GPU.GFLOPS
+	}
+	tableBytes := m.rows * float64(16+base.RawBytes)
+	res.Layers = []LayerCost{{
+		Layer:         base.Name,
+		InferSec:      m.rows * float64(base.CumFLOPs) / (nodeGFLOPS * 1e9 * nodes),
+		TrainFirstSec: m.stored(tableBytes) / (nodes * prof.DiskMBps * mb), // write-out
+	}}
+	return res
+}
+
+// tstrShare is the structured payload carried through intermediate tables
+// under the AJ placement (joined tables retain X).
+func (m *model) tstrShare() float64 {
+	if m.w.Plan.Placement == plan.AfterJoin {
+		return m.tstr
+	}
+	return 0
+}
+
+// stored maps logical bytes to their in-storage footprint.
+func (m *model) stored(b float64) float64 {
+	if m.compressed {
+		return b / serializedCompression
+	}
+	return b
+}
+
+// liveBytes is the cluster-wide cached footprint while working on the i-th
+// computed layer.
+func (m *model) liveBytes(li int) float64 {
+	switch m.w.Plan.Kind {
+	case plan.Eager:
+		sum := m.stored(m.base)
+		for _, b := range m.tableBytes {
+			sum += m.stored(b)
+		}
+		return sum
+	case plan.Staged:
+		live := m.stored(m.base) + m.stored(m.tableBytes[li])
+		if li > 0 {
+			live += m.stored(m.tableBytes[li-1])
+		}
+		return live
+	default: // Lazy
+		return m.stored(m.base) + m.stored(m.tableBytes[li])
+	}
+}
+
+// peakStorageNeed is the largest cluster-wide cached footprint the plan
+// reaches.
+func (m *model) peakStorageNeed() int64 {
+	var peak float64
+	for i := range m.w.Plan.Layers {
+		if v := m.liveBytes(i); v > peak {
+			peak = v
+		}
+	}
+	if len(m.w.Plan.Layers) == 0 {
+		peak = m.stored(m.base)
+	}
+	return int64(peak)
+}
+
+// userNeed is the configuration's actual User Memory consumption, mirroring
+// optimizer.UserMemoryNeed but plan-aware: the largest α-inflated stage
+// partition plus decode buffers and activations. For the Staged plan this is
+// never above the optimizer's (raw-carry, s_single-based) budget, so
+// Vista-chosen configurations cannot fail this check.
+func (m *model) userNeed() int64 {
+	params := optimizer.DefaultParams()
+	st := m.w.Inputs.ModelStats
+	var maxTable float64
+	for _, b := range m.tableBytes {
+		if b > maxTable {
+			maxTable = b
+		}
+	}
+	featPart := maxTable / float64(m.cfg.NP)
+	batch := float64(8) * float64(st.InputBytes)
+	decode := batch
+	if m.w.Inputs.WholePartitionDecode || !m.prof.Kind.SupportsSpill() {
+		if whole := m.rows * float64(st.InputBytes) / float64(m.cfg.NP); whole > decode {
+			decode = whole
+		}
+	}
+	working := featPart + decode + batch + float64(st.ActivationWorkingBytes)
+	need := float64(st.SerializedBytes) + float64(m.cfg.CPU)*params.Alpha*working
+	if m.w.Inputs.Placement == optimizer.MInPDUserMemory {
+		if alt := float64(m.cfg.CPU) * float64(m.w.Inputs.DownstreamMemBytes); alt > need {
+			need = alt
+		}
+	}
+	return int64(need)
+}
+
+// Run simulates one workload under one configuration on one profile.
+func Run(w Workload, cfg Config, prof Profile) Result {
+	if err := validateRun(w, cfg, prof); err != nil {
+		return Result{Crash: err}
+	}
+	m := newModel(w, cfg, prof)
+	if err := m.crashCheck(); err != nil {
+		return Result{Crash: err}
+	}
+
+	nodes := float64(prof.Nodes)
+	st := w.Inputs.ModelStats
+	res := Result{}
+
+	// ——— Read ———
+	readsImages := w.Plan.PreMaterializedBase < 0
+	for _, s := range w.Plan.Steps {
+		if s.FromImage {
+			readsImages = true
+		}
+	}
+	if readsImages {
+		res.ReadSec = m.rows*prof.PerImageReadMs/1000/math.Pow(nodes, prof.ReadParallelExp) +
+			(m.timg+m.tstr)/(nodes*prof.DiskMBps*mb)
+	} else {
+		res.ReadSec = m.tstr / (nodes * prof.DiskMBps * mb)
+	}
+	if w.Plan.PreMaterializedBase >= 0 {
+		// The pre-materialized base layer is read from disk (Appendix B:
+		// feature layers are "generally larger than the compressed image
+		// formats", raising I/O cost).
+		res.ReadSec += m.stored(m.tableBytes[w.Plan.PreMaterializedBase]) / (nodes * prof.DiskMBps * mb)
+	}
+
+	// ——— Up-front join (AJ) ———
+	if w.Plan.Placement == plan.AfterJoin {
+		res.JoinSec = joinCost(cfg.Join, m.tstr, m.timg, prof)
+	}
+
+	// ——— Per-stage inference + training ———
+	nodeGFLOPS := prof.BaseGFLOPS * parallelEfficiency(cfg.CPU) * computeEfficiency(st.ModelName)
+	if prof.GPU != nil {
+		nodeGFLOPS = prof.GPU.GFLOPS
+	}
+	taskSec := func(passes float64) float64 {
+		per := prof.PerTaskOverheadMs
+		if cfg.NP > prof.HighNPThreshold {
+			per += prof.HighNPPenaltyMs
+		}
+		return passes * float64(cfg.NP) * per / 1000 / (nodes * float64(cfg.CPU))
+	}
+	scanRate := prof.ScanMBps
+	if m.compressed {
+		scanRate *= 0.85 // decompression tax on scans
+	}
+	storageCap := float64(cfg.Apportion.Storage) * nodes
+
+	layerIdx := 0
+	for _, step := range w.Plan.Steps {
+		inferSec := m.rows*float64(step.FLOPsPerImage)/(nodeGFLOPS*1e9*nodes) + taskSec(1) + 3
+		if !step.FromImage {
+			// Passes reading the pre-materialized base re-scan it from the
+			// cache/disk each time (Appendix B's I/O cost); a staged
+			// chain's carry was just written and is hot, so it costs
+			// nothing extra beyond its materialization.
+			if src := m.inputTableIndex(step); src >= 0 && src == w.Plan.PreMaterializedBase {
+				inferSec += m.stored(m.tableBytes[src]) / (nodes * scanRate * mb)
+			}
+		}
+		for range step.Emits {
+			li := layerOffset(w.Plan, layerIdx)
+			l := w.Plan.Layers[li]
+			lc := LayerCost{Layer: l.Name}
+			// A step's inference cost is attributed to its first emitted
+			// layer (Eager's single pass lands on the bottom layer).
+			lc.InferSec = inferSec
+			inferSec = 0
+
+			// Storage pressure while this layer's table is live.
+			live := m.liveBytes(li)
+			if over := live - storageCap; over > 0 {
+				res.SpilledBytes += int64(over)
+				lc.SpillSec = 2 * over / (nodes * prof.SpillMBps * mb)
+			}
+			if pn := int64(math.Min(live, storageCap) / nodes); pn > res.PeakStoragePerNode {
+				res.PeakStoragePerNode = pn
+			}
+
+			// BJ: a per-layer join of Tstr with the pooled projection.
+			if w.Plan.Placement == plan.BeforeJoin {
+				lc.JoinSec = joinCost(cfg.Join, m.tstr, m.pooledBytes[li], prof)
+			}
+
+			// Downstream training: the first iteration scans the stage's
+			// materialized table; later iterations scan the pooled
+			// projection (cached in the trainer's own format).
+			lc.TrainFirstSec = m.stored(m.tableBytes[li])/(nodes*scanRate*mb) + taskSec(1)
+			if w.TrainIters > 1 {
+				lc.TrainRestSec = float64(w.TrainIters-1) *
+					(m.pooledBytes[li]/(nodes*prof.ScanMBps*mb*4) + taskSec(1)/2)
+			}
+			res.Layers = append(res.Layers, lc)
+			layerIdx++
+		}
+	}
+	// Pre-materialized base layer (Appendix B): trained with no inference.
+	if w.Plan.PreMaterializedBase >= 0 {
+		li := w.Plan.PreMaterializedBase
+		l := w.Plan.Layers[li]
+		lc := LayerCost{
+			Layer:         l.Name,
+			TrainFirstSec: m.stored(m.tableBytes[li])/(nodes*scanRate*mb) + taskSec(1),
+		}
+		if w.TrainIters > 1 {
+			lc.TrainRestSec = float64(w.TrainIters-1) * (m.pooledBytes[li] / (nodes * prof.ScanMBps * mb * 4))
+		}
+		res.Layers = append([]LayerCost{lc}, res.Layers...)
+	}
+	return res
+}
+
+const mb = 1 << 20
+
+// inputTableIndex returns the Plan.Layers index of the table a continuation
+// step reads from: the feature layer immediately below the step's From, or
+// -1 when the step reads raw images.
+func (m *model) inputTableIndex(step plan.Step) int {
+	best := -1
+	for i, l := range m.w.Plan.Layers {
+		if l.LayerIndex < step.From && (best < 0 || l.LayerIndex > m.w.Plan.Layers[best].LayerIndex) {
+			best = i
+		}
+	}
+	return best
+}
+
+// layerOffset maps the i-th *computed* layer to its index in Plan.Layers
+// (pre-materialized plans skip the base layer in Steps).
+func layerOffset(p *plan.Plan, i int) int {
+	if p.PreMaterializedBase >= 0 {
+		return i + 1
+	}
+	return i
+}
+
+// joinCost models one key-key join: shuffle moves both sides across the
+// network; broadcast ships the small side everywhere and scans the big side
+// locally.
+func joinCost(kind dataflow.JoinKind, small, large float64, prof Profile) float64 {
+	nodes := float64(prof.Nodes)
+	switch kind {
+	case dataflow.BroadcastJoin:
+		return small/(prof.NetMBps*mb) + large/(nodes*prof.ScanMBps*mb) + 2
+	default:
+		return (small+large)/(nodes*prof.NetMBps*mb) + (small+large)/(nodes*prof.ScanMBps*mb) + 2
+	}
+}
+
+// crashCheck applies the Section 4.1 crash scenarios.
+func (m *model) crashCheck() error {
+	w, cfg, prof := m.w, m.cfg, m.prof
+	in := w.Inputs
+	st := in.ModelStats
+	params := optimizer.DefaultParams()
+
+	// Equation 15: GPU memory.
+	if prof.GPU != nil {
+		need := int64(cfg.CPU) * max64(st.GPUMemBytes, in.DownstreamGPUMemBytes)
+		if need >= prof.GPU.MemBytes {
+			return &memory.OOMError{
+				Region: memory.Device, Scenario: memory.DeviceExhausted,
+				Need: need, Avail: prof.GPU.MemBytes,
+				Detail: fmt.Sprintf("%d GPU replicas of %s", cfg.CPU, st.ModelName),
+			}
+		}
+	}
+
+	// Scenario 3: oversized partitions exhaust Core Memory during joins.
+	var maxTable float64
+	for _, b := range m.tableBytes {
+		if b > maxTable {
+			maxTable = b
+		}
+	}
+	buildPart := int64(math.Max(maxTable, m.base)) / int64(cfg.NP)
+	if coreNeed := int64(cfg.CPU) * buildPart; coreNeed > cfg.Apportion.Core {
+		return &memory.OOMError{
+			Region: memory.Core, Scenario: memory.LargePartition,
+			Need: coreNeed, Avail: cfg.Apportion.Core,
+			Detail: fmt.Sprintf("np=%d leaves %s partitions", cfg.NP, memory.FormatBytes(buildPart)),
+		}
+	}
+
+	// Scenario 2: UDF working sets exhaust User Memory.
+	if need := m.userNeed(); need > cfg.Apportion.User {
+		return &memory.OOMError{
+			Region: memory.User, Scenario: memory.InsufficientUser,
+			Need: need, Avail: cfg.Apportion.User,
+			Detail: fmt.Sprintf("%d threads of %s + feature TensorLists", cfg.CPU, st.ModelName),
+		}
+	}
+
+	// Scenario 4: a broadcast the driver cannot hold.
+	if cfg.Join == dataflow.BroadcastJoin {
+		if tstr := int64(m.tstr); tstr > prof.DriverMem {
+			return &memory.OOMError{
+				Region: memory.User, Scenario: memory.DriverOOM,
+				Need: tstr, Avail: prof.DriverMem,
+				Detail: "broadcast build of Tstr at the driver",
+			}
+		}
+	}
+
+	// Scenario 1: total resident set exceeds physical memory — the OS kills
+	// the workload. Storage counts only up to its (evictable) budget.
+	dlNeed := optimizer.DLMemoryNeed(in, cfg.CPU)
+	storageUsed := m.peakStorageNeed() / int64(prof.Nodes)
+	if storageUsed > cfg.Apportion.Storage {
+		storageUsed = cfg.Apportion.Storage
+	}
+	resident := params.MemOSReserved + m.userNeed() + params.MemCore + storageUsed + dlNeed
+	if resident > prof.MemPerNode {
+		return &memory.OOMError{
+			Region: memory.DLExecution, Scenario: memory.DLBlowup,
+			Need: resident, Avail: prof.MemPerNode,
+			Detail: fmt.Sprintf("%d DL replicas (%s each) push the resident set past system memory",
+				cfg.CPU, memory.FormatBytes(st.MemBytes)),
+		}
+	}
+
+	// Memory-only storage exhaustion (the Ignite Eager crash).
+	if !prof.Kind.SupportsSpill() {
+		if need := m.peakStorageNeed(); need > cfg.Apportion.Storage*int64(prof.Nodes) {
+			return &memory.OOMError{
+				Region: memory.Storage, Scenario: memory.StorageExhausted,
+				Need: need, Avail: cfg.Apportion.Storage * int64(prof.Nodes),
+				Detail: fmt.Sprintf("%s plan intermediates on a memory-only store", w.Plan.Kind),
+			}
+		}
+	}
+	return nil
+}
+
+func validateRun(w Workload, cfg Config, prof Profile) error {
+	switch {
+	case w.Plan == nil:
+		return fmt.Errorf("sim: nil plan")
+	case w.Inputs.ModelStats == nil:
+		return fmt.Errorf("sim: nil model stats")
+	case w.Inputs.NumRows <= 0:
+		return fmt.Errorf("sim: no rows")
+	case cfg.CPU <= 0 || cfg.NP <= 0:
+		return fmt.Errorf("sim: invalid config cpu=%d np=%d", cfg.CPU, cfg.NP)
+	case prof.Nodes <= 0:
+		return fmt.Errorf("sim: profile has no nodes")
+	case w.TrainIters <= 0:
+		return fmt.Errorf("sim: train iterations must be positive")
+	}
+	return nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

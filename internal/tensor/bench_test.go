@@ -1,0 +1,82 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchInput(c, h, w int) *Tensor {
+	rng := rand.New(rand.NewSource(1))
+	t := New(c, h, w)
+	for i := range t.Data() {
+		t.Data()[i] = rng.Float32()
+	}
+	return t
+}
+
+func BenchmarkConv2D3x3(b *testing.B) {
+	in := benchInput(16, 32, 32)
+	spec := Conv2DSpec{InChannels: 16, OutChannels: 32, Kernel: 3, Stride: 1, Pad: 1}
+	w := make([]float32, spec.WeightCount())
+	bias := make([]float32, spec.OutChannels)
+	b.SetBytes(int64(in.NumElements() * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Conv2D(in, spec, w, bias); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkConv2D1x1(b *testing.B) {
+	in := benchInput(64, 16, 16)
+	spec := Conv2DSpec{InChannels: 64, OutChannels: 64, Kernel: 1, Stride: 1}
+	w := make([]float32, spec.WeightCount())
+	bias := make([]float32, spec.OutChannels)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Conv2D(in, spec, w, bias); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMaxPool2D(b *testing.B) {
+	in := benchInput(32, 32, 32)
+	spec := PoolSpec{Kernel: 2, Stride: 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MaxPool2D(in, spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatVec(b *testing.B) {
+	const rows, cols = 256, 2048
+	w := make([]float32, rows*cols)
+	x := make([]float32, cols)
+	bias := make([]float32, rows)
+	b.SetBytes(int64(rows * cols * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MatVec(w, rows, cols, x, bias); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeDecode(b *testing.B) {
+	in := benchInput(3, 64, 64)
+	b.SetBytes(in.SizeBytes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blob, err := Encode(in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Decode(blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

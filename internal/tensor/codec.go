@@ -1,0 +1,83 @@
+package tensor
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// ErrCorrupt indicates a malformed encoded tensor.
+var ErrCorrupt = errors.New("tensor: corrupt encoding")
+
+// Encode serializes a tensor into a flate-compressed binary blob:
+// rank, dims, then float32 data, all little-endian. It is the "raw image"
+// format of this reproduction — like JPEG in the paper, the on-disk image is
+// much smaller than its decoded tensor (Section 1.1).
+func Encode(t *Tensor) ([]byte, error) {
+	shape := t.Shape()
+	raw := make([]byte, 0, 4+4*len(shape)+4*len(t.Data()))
+	var scratch [4]byte
+	put := func(v uint32) {
+		binary.LittleEndian.PutUint32(scratch[:], v)
+		raw = append(raw, scratch[:]...)
+	}
+	put(uint32(len(shape)))
+	for _, d := range shape {
+		put(uint32(d))
+	}
+	for _, v := range t.Data() {
+		put(math.Float32bits(v))
+	}
+	var out bytes.Buffer
+	w, err := flate.NewWriter(&out, flate.BestSpeed)
+	if err != nil {
+		return nil, fmt.Errorf("tensor: encode: %w", err)
+	}
+	if _, err := w.Write(raw); err != nil {
+		return nil, fmt.Errorf("tensor: encode: %w", err)
+	}
+	if err := w.Close(); err != nil {
+		return nil, fmt.Errorf("tensor: encode: %w", err)
+	}
+	return out.Bytes(), nil
+}
+
+// Decode reverses Encode.
+func Decode(blob []byte) (*Tensor, error) {
+	r := flate.NewReader(bytes.NewReader(blob))
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if err := r.Close(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if len(raw) < 4 {
+		return nil, ErrCorrupt
+	}
+	rank := binary.LittleEndian.Uint32(raw)
+	if rank > 8 || len(raw) < int(4+4*rank) {
+		return nil, ErrCorrupt
+	}
+	shape := make(Shape, rank)
+	off := 4
+	elems := 1
+	for i := range shape {
+		shape[i] = int(binary.LittleEndian.Uint32(raw[off:]))
+		off += 4
+		elems *= shape[i]
+	}
+	if !shape.Valid() || len(raw) != off+4*elems {
+		return nil, ErrCorrupt
+	}
+	data := make([]float32, elems)
+	for i := range data {
+		data[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[off:]))
+		off += 4
+	}
+	return FromSlice(data, shape...)
+}

@@ -1,0 +1,89 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTensorCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	in := New(3, 8, 8)
+	for i := range in.Data() {
+		in.Data()[i] = rng.Float32()
+	}
+	blob, err := Encode(in)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	out, err := Decode(blob)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !out.Shape().Equal(in.Shape()) {
+		t.Fatalf("shape = %v, want %v", out.Shape(), in.Shape())
+	}
+	for i := range in.Data() {
+		if in.Data()[i] != out.Data()[i] {
+			t.Fatalf("data mismatch at %d", i)
+		}
+	}
+}
+
+func TestTensorCodecCompressesSmoothData(t *testing.T) {
+	// Smooth images (like natural photos) compress well below raw payload —
+	// the raw-image-vs-feature-tensor size asymmetry of Section 1.1.
+	in := New(3, 32, 32)
+	for i := range in.Data() {
+		in.Data()[i] = 0.5
+	}
+	blob, err := Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(blob)) > in.SizeBytes()/4 {
+		t.Errorf("constant image compressed to %d of %d raw bytes", len(blob), in.SizeBytes())
+	}
+}
+
+func TestTensorDecodeErrors(t *testing.T) {
+	if _, err := Decode([]byte{1, 2, 3}); err == nil {
+		t.Error("decoded garbage")
+	}
+	blob, err := Encode(New(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(blob[:len(blob)-1]); err == nil {
+		t.Error("decoded truncated blob")
+	}
+}
+
+// Property: Encode/Decode round-trips arbitrary small tensors exactly.
+func TestTensorCodecProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := func(d1, d2 uint8) bool {
+		a, b := int(d1%8)+1, int(d2%8)+1
+		in := New(a, b)
+		for i := range in.Data() {
+			in.Data()[i] = rng.Float32()*100 - 50
+		}
+		blob, err := Encode(in)
+		if err != nil {
+			return false
+		}
+		out, err := Decode(blob)
+		if err != nil || !out.Shape().Equal(in.Shape()) {
+			return false
+		}
+		for i := range in.Data() {
+			if in.Data()[i] != out.Data()[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

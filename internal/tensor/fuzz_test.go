@@ -1,0 +1,33 @@
+package tensor
+
+import "testing"
+
+// FuzzDecode hardens the image-tensor codec: arbitrary blobs must decode
+// cleanly or fail cleanly, and valid decodes must round-trip.
+func FuzzDecode(f *testing.F) {
+	for _, t := range []*Tensor{New(3, 4, 4), New(1), New(2, 3)} {
+		blob, err := Encode(t)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(blob)
+	}
+	f.Add([]byte{9, 9, 9})
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		decoded, err := Decode(blob)
+		if err != nil {
+			return
+		}
+		re, err := Encode(decoded)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		again, err := Decode(re)
+		if err != nil {
+			t.Fatalf("round-trip decode failed: %v", err)
+		}
+		if !again.Shape().Equal(decoded.Shape()) {
+			t.Fatalf("shape changed: %v vs %v", again.Shape(), decoded.Shape())
+		}
+	})
+}

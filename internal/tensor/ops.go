@@ -1,0 +1,353 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Conv2DSpec describes a 2-D convolution over a CHW input.
+type Conv2DSpec struct {
+	InChannels  int
+	OutChannels int
+	Kernel      int // square kernel side
+	Stride      int
+	Pad         int // symmetric zero padding
+}
+
+// OutShape returns the CHW output shape of the convolution for the given CHW
+// input shape.
+func (c Conv2DSpec) OutShape(in Shape) (Shape, error) {
+	if len(in) != 3 || in[0] != c.InChannels {
+		return nil, fmt.Errorf("%w: conv2d expects (%d,H,W), got %v", ErrShape, c.InChannels, in)
+	}
+	h := (in[1]+2*c.Pad-c.Kernel)/c.Stride + 1
+	w := (in[2]+2*c.Pad-c.Kernel)/c.Stride + 1
+	if h <= 0 || w <= 0 {
+		return nil, fmt.Errorf("%w: conv2d output %dx%d for input %v", ErrShape, h, w, in)
+	}
+	return Shape{c.OutChannels, h, w}, nil
+}
+
+// WeightCount returns the number of filter weights (excluding biases).
+func (c Conv2DSpec) WeightCount() int {
+	return c.OutChannels * c.InChannels * c.Kernel * c.Kernel
+}
+
+// Conv2D computes a direct 2-D convolution of the CHW input with the given
+// filter weights (layout [out][in][kh][kw], row-major) and per-output-channel
+// biases. It returns a new CHW tensor.
+func Conv2D(in *Tensor, spec Conv2DSpec, weights, bias []float32) (*Tensor, error) {
+	outShape, err := spec.OutShape(in.Shape())
+	if err != nil {
+		return nil, err
+	}
+	if len(weights) != spec.WeightCount() {
+		return nil, fmt.Errorf("%w: conv2d weights len %d, want %d", ErrShape, len(weights), spec.WeightCount())
+	}
+	if len(bias) != spec.OutChannels {
+		return nil, fmt.Errorf("%w: conv2d bias len %d, want %d", ErrShape, len(bias), spec.OutChannels)
+	}
+	inH, inW := in.Shape()[1], in.Shape()[2]
+	outH, outW := outShape[1], outShape[2]
+	out := New(outShape...)
+	src := in.Data()
+	dst := out.Data()
+	k := spec.Kernel
+
+	for oc := 0; oc < spec.OutChannels; oc++ {
+		wBase := oc * spec.InChannels * k * k
+		b := bias[oc]
+		for oy := 0; oy < outH; oy++ {
+			iy0 := oy*spec.Stride - spec.Pad
+			for ox := 0; ox < outW; ox++ {
+				ix0 := ox*spec.Stride - spec.Pad
+				sum := b
+				for ic := 0; ic < spec.InChannels; ic++ {
+					sBase := ic * inH * inW
+					fBase := wBase + ic*k*k
+					for ky := 0; ky < k; ky++ {
+						iy := iy0 + ky
+						if iy < 0 || iy >= inH {
+							continue
+						}
+						rowBase := sBase + iy*inW
+						fRow := fBase + ky*k
+						for kx := 0; kx < k; kx++ {
+							ix := ix0 + kx
+							if ix < 0 || ix >= inW {
+								continue
+							}
+							sum += src[rowBase+ix] * weights[fRow+kx]
+						}
+					}
+				}
+				dst[(oc*outH+oy)*outW+ox] = sum
+			}
+		}
+	}
+	return out, nil
+}
+
+// PoolSpec describes a 2-D pooling window over a CHW input.
+type PoolSpec struct {
+	Kernel int
+	Stride int
+	Pad    int
+}
+
+// OutShape returns the CHW output shape of the pooling for the given input.
+func (p PoolSpec) OutShape(in Shape) (Shape, error) {
+	if len(in) != 3 {
+		return nil, fmt.Errorf("%w: pool expects CHW, got %v", ErrShape, in)
+	}
+	h := (in[1]+2*p.Pad-p.Kernel)/p.Stride + 1
+	w := (in[2]+2*p.Pad-p.Kernel)/p.Stride + 1
+	if h <= 0 || w <= 0 {
+		return nil, fmt.Errorf("%w: pool output %dx%d for input %v", ErrShape, h, w, in)
+	}
+	return Shape{in[0], h, w}, nil
+}
+
+// MaxPool2D applies max pooling to the CHW input.
+func MaxPool2D(in *Tensor, spec PoolSpec) (*Tensor, error) {
+	return pool2D(in, spec, true)
+}
+
+// AvgPool2D applies average pooling to the CHW input. Padding cells count
+// toward the divisor only when inside the input (i.e. the divisor is the
+// number of valid cells), matching common DL-system semantics.
+func AvgPool2D(in *Tensor, spec PoolSpec) (*Tensor, error) {
+	return pool2D(in, spec, false)
+}
+
+func pool2D(in *Tensor, spec PoolSpec, max bool) (*Tensor, error) {
+	outShape, err := spec.OutShape(in.Shape())
+	if err != nil {
+		return nil, err
+	}
+	c, inH, inW := in.Shape()[0], in.Shape()[1], in.Shape()[2]
+	outH, outW := outShape[1], outShape[2]
+	out := New(outShape...)
+	src := in.Data()
+	dst := out.Data()
+
+	for ch := 0; ch < c; ch++ {
+		sBase := ch * inH * inW
+		for oy := 0; oy < outH; oy++ {
+			iy0 := oy*spec.Stride - spec.Pad
+			for ox := 0; ox < outW; ox++ {
+				ix0 := ox*spec.Stride - spec.Pad
+				var acc float32
+				if max {
+					acc = float32(math.Inf(-1))
+				}
+				n := 0
+				for ky := 0; ky < spec.Kernel; ky++ {
+					iy := iy0 + ky
+					if iy < 0 || iy >= inH {
+						continue
+					}
+					for kx := 0; kx < spec.Kernel; kx++ {
+						ix := ix0 + kx
+						if ix < 0 || ix >= inW {
+							continue
+						}
+						v := src[sBase+iy*inW+ix]
+						if max {
+							if v > acc {
+								acc = v
+							}
+						} else {
+							acc += v
+						}
+						n++
+					}
+				}
+				if n == 0 {
+					acc = 0
+				} else if !max {
+					acc /= float32(n)
+				}
+				dst[(ch*outH+oy)*outW+ox] = acc
+			}
+		}
+	}
+	return out, nil
+}
+
+// GridMaxPool reduces a CHW feature map to a (C, grid, grid) tensor using max
+// pooling with the window and stride chosen to produce a grid×grid output.
+// This implements the dimensionality-reduction pooling the paper applies to
+// convolutional feature layers before downstream training (Section 5,
+// footnote 4: "filter width and stride for max pooling are set to reduce the
+// feature tensor to a 2x2 grid of the same depth").
+func GridMaxPool(in *Tensor, grid int) (*Tensor, error) {
+	s := in.Shape()
+	if len(s) != 3 {
+		return nil, fmt.Errorf("%w: GridMaxPool expects CHW, got %v", ErrShape, s)
+	}
+	if s[1] <= grid || s[2] <= grid {
+		// Already at or below target resolution; nothing to reduce.
+		return in, nil
+	}
+	stride := s[1] / grid
+	kernel := s[1] - (grid-1)*stride
+	return MaxPool2D(in, PoolSpec{Kernel: kernel, Stride: stride})
+}
+
+// GridPooledShape returns the shape GridMaxPool would produce for the given
+// input shape without computing anything.
+func GridPooledShape(in Shape, grid int) Shape {
+	if len(in) != 3 || in[1] <= grid || in[2] <= grid {
+		return in.Clone()
+	}
+	stride := in[1] / grid
+	kernel := in[1] - (grid-1)*stride
+	h := (in[1]-kernel)/stride + 1
+	w := (in[2]-kernel)/stride + 1
+	return Shape{in[0], h, w}
+}
+
+// ConcatChannels concatenates CHW tensors along the channel dimension; all
+// inputs must share spatial dimensions. It is the primitive behind
+// DAG-structured CNN blocks (DenseNet-style concatenation).
+func ConcatChannels(ts ...*Tensor) (*Tensor, error) {
+	if len(ts) == 0 {
+		return nil, fmt.Errorf("%w: concat of no tensors", ErrShape)
+	}
+	first := ts[0].Shape()
+	if len(first) != 3 {
+		return nil, fmt.Errorf("%w: concat expects CHW, got %v", ErrShape, first)
+	}
+	h, w := first[1], first[2]
+	totalC := 0
+	for _, t := range ts {
+		s := t.Shape()
+		if len(s) != 3 || s[1] != h || s[2] != w {
+			return nil, fmt.Errorf("%w: concat spatial mismatch %v vs (%d,%d)", ErrShape, s, h, w)
+		}
+		totalC += s[0]
+	}
+	out := New(totalC, h, w)
+	off := 0
+	for _, t := range ts {
+		n := copy(out.Data()[off:], t.Data())
+		off += n
+	}
+	return out, nil
+}
+
+// ReLU applies max(0, x) elementwise in place and returns the input tensor.
+func ReLU(t *Tensor) *Tensor {
+	d := t.Data()
+	for i, v := range d {
+		if v < 0 {
+			d[i] = 0
+		}
+	}
+	return t
+}
+
+// AddInPlace adds b into a elementwise (a += b); shapes must match.
+func AddInPlace(a, b *Tensor) error {
+	if !a.Shape().Equal(b.Shape()) {
+		return fmt.Errorf("%w: add %v + %v", ErrShape, a.Shape(), b.Shape())
+	}
+	ad, bd := a.Data(), b.Data()
+	for i := range ad {
+		ad[i] += bd[i]
+	}
+	return nil
+}
+
+// MatVec computes out = W·x + b where W is row-major (rows × cols),
+// x has cols elements, and b has rows elements. It implements a fully
+// connected layer over a flattened input.
+func MatVec(w []float32, rows, cols int, x, b []float32) ([]float32, error) {
+	if len(w) != rows*cols || len(x) != cols || len(b) != rows {
+		return nil, fmt.Errorf("%w: matvec %dx%d with |w|=%d |x|=%d |b|=%d",
+			ErrShape, rows, cols, len(w), len(x), len(b))
+	}
+	out := make([]float32, rows)
+	for r := 0; r < rows; r++ {
+		base := r * cols
+		sum := b[r]
+		for c, xv := range x {
+			sum += w[base+c] * xv
+		}
+		out[r] = sum
+	}
+	return out, nil
+}
+
+// BatchNorm applies per-channel affine normalization to a CHW tensor in
+// place: y = gamma * (x - mean) / sqrt(var + eps) + beta. All parameter
+// slices must have length C.
+func BatchNorm(t *Tensor, gamma, beta, mean, variance []float32, eps float32) error {
+	s := t.Shape()
+	if len(s) != 3 {
+		return fmt.Errorf("%w: batchnorm expects CHW, got %v", ErrShape, s)
+	}
+	c, hw := s[0], s[1]*s[2]
+	if len(gamma) != c || len(beta) != c || len(mean) != c || len(variance) != c {
+		return fmt.Errorf("%w: batchnorm params for %d channels", ErrShape, c)
+	}
+	d := t.Data()
+	for ch := 0; ch < c; ch++ {
+		scale := gamma[ch] / float32(math.Sqrt(float64(variance[ch]+eps)))
+		shift := beta[ch] - mean[ch]*scale
+		base := ch * hw
+		for i := 0; i < hw; i++ {
+			d[base+i] = d[base+i]*scale + shift
+		}
+	}
+	return nil
+}
+
+// GlobalAvgPool reduces a CHW tensor to a length-C vector by averaging each
+// channel's spatial plane.
+func GlobalAvgPool(in *Tensor) (*Tensor, error) {
+	s := in.Shape()
+	if len(s) != 3 {
+		return nil, fmt.Errorf("%w: GlobalAvgPool expects CHW, got %v", ErrShape, s)
+	}
+	c, hw := s[0], s[1]*s[2]
+	out := New(c)
+	src, dst := in.Data(), out.Data()
+	for ch := 0; ch < c; ch++ {
+		var sum float32
+		base := ch * hw
+		for i := 0; i < hw; i++ {
+			sum += src[base+i]
+		}
+		dst[ch] = sum / float32(hw)
+	}
+	return out, nil
+}
+
+// Softmax returns the softmax of a rank-1 tensor as a new tensor, computed
+// with the max-subtraction trick for numerical stability.
+func Softmax(in *Tensor) (*Tensor, error) {
+	if len(in.Shape()) != 1 {
+		return nil, fmt.Errorf("%w: softmax expects rank-1, got %v", ErrShape, in.Shape())
+	}
+	out := New(in.Shape()...)
+	src, dst := in.Data(), out.Data()
+	maxV := float32(math.Inf(-1))
+	for _, v := range src {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	var sum float64
+	for i, v := range src {
+		e := math.Exp(float64(v - maxV))
+		dst[i] = float32(e)
+		sum += e
+	}
+	inv := float32(1 / sum)
+	for i := range dst {
+		dst[i] *= inv
+	}
+	return out, nil
+}

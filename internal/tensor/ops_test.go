@@ -1,0 +1,421 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float32) bool {
+	return float32(math.Abs(float64(a-b))) <= eps
+}
+
+func TestConv2DIdentityKernel(t *testing.T) {
+	// 1x1 kernel with weight 1 and zero bias is the identity.
+	in := MustFromSlice([]float32{1, 2, 3, 4}, 1, 2, 2)
+	spec := Conv2DSpec{InChannels: 1, OutChannels: 1, Kernel: 1, Stride: 1}
+	out, err := Conv2D(in, spec, []float32{1}, []float32{0})
+	if err != nil {
+		t.Fatalf("Conv2D: %v", err)
+	}
+	for i, v := range out.Data() {
+		if v != in.Data()[i] {
+			t.Fatalf("identity conv mismatch at %d: %v vs %v", i, v, in.Data()[i])
+		}
+	}
+}
+
+func TestConv2DKnownValues(t *testing.T) {
+	// 3x3 input, 2x2 kernel of all ones, stride 1, no pad: each output is the
+	// sum of a 2x2 window.
+	in := MustFromSlice([]float32{
+		1, 2, 3,
+		4, 5, 6,
+		7, 8, 9,
+	}, 1, 3, 3)
+	spec := Conv2DSpec{InChannels: 1, OutChannels: 1, Kernel: 2, Stride: 1}
+	out, err := Conv2D(in, spec, []float32{1, 1, 1, 1}, []float32{0})
+	if err != nil {
+		t.Fatalf("Conv2D: %v", err)
+	}
+	want := []float32{12, 16, 24, 28}
+	for i, v := range out.Data() {
+		if v != want[i] {
+			t.Fatalf("out[%d] = %v, want %v", i, v, want[i])
+		}
+	}
+}
+
+func TestConv2DPaddingAndStride(t *testing.T) {
+	in := New(1, 4, 4)
+	in.Fill(1)
+	spec := Conv2DSpec{InChannels: 1, OutChannels: 1, Kernel: 3, Stride: 2, Pad: 1}
+	out, err := Conv2D(in, spec, []float32{1, 1, 1, 1, 1, 1, 1, 1, 1}, []float32{0})
+	if err != nil {
+		t.Fatalf("Conv2D: %v", err)
+	}
+	if !out.Shape().Equal(Shape{1, 2, 2}) {
+		t.Fatalf("shape = %v, want (1,2,2)", out.Shape())
+	}
+	// Corner window covers 2x2=4 ones; others vary. Top-left at (-1,-1) offset
+	// covers rows 0..1, cols 0..1 => 4.
+	if out.At(0, 0, 0) != 4 {
+		t.Errorf("padded corner = %v, want 4", out.At(0, 0, 0))
+	}
+}
+
+func TestConv2DBias(t *testing.T) {
+	in := New(1, 2, 2)
+	spec := Conv2DSpec{InChannels: 1, OutChannels: 2, Kernel: 1, Stride: 1}
+	out, err := Conv2D(in, spec, []float32{1, 1}, []float32{3, -1})
+	if err != nil {
+		t.Fatalf("Conv2D: %v", err)
+	}
+	if out.At(0, 0, 0) != 3 || out.At(1, 0, 0) != -1 {
+		t.Errorf("bias not applied: %v, %v", out.At(0, 0, 0), out.At(1, 0, 0))
+	}
+}
+
+func TestConv2DMultiChannel(t *testing.T) {
+	// Two input channels; filter sums both.
+	in := MustFromSlice([]float32{
+		1, 2, 3, 4, // channel 0
+		10, 20, 30, 40, // channel 1
+	}, 2, 2, 2)
+	spec := Conv2DSpec{InChannels: 2, OutChannels: 1, Kernel: 1, Stride: 1}
+	out, err := Conv2D(in, spec, []float32{1, 1}, []float32{0})
+	if err != nil {
+		t.Fatalf("Conv2D: %v", err)
+	}
+	want := []float32{11, 22, 33, 44}
+	for i, v := range out.Data() {
+		if v != want[i] {
+			t.Fatalf("out[%d] = %v, want %v", i, v, want[i])
+		}
+	}
+}
+
+func TestConv2DShapeErrors(t *testing.T) {
+	in := New(1, 2, 2)
+	spec := Conv2DSpec{InChannels: 2, OutChannels: 1, Kernel: 1, Stride: 1}
+	if _, err := Conv2D(in, spec, []float32{1, 1}, []float32{0}); err == nil {
+		t.Error("expected channel-mismatch error")
+	}
+	spec = Conv2DSpec{InChannels: 1, OutChannels: 1, Kernel: 5, Stride: 1}
+	if _, err := Conv2D(in, spec, make([]float32, 25), []float32{0}); err == nil {
+		t.Error("expected kernel-larger-than-input error")
+	}
+	spec = Conv2DSpec{InChannels: 1, OutChannels: 1, Kernel: 1, Stride: 1}
+	if _, err := Conv2D(in, spec, []float32{1, 2}, []float32{0}); err == nil {
+		t.Error("expected weight-length error")
+	}
+	if _, err := Conv2D(in, spec, []float32{1}, []float32{0, 0}); err == nil {
+		t.Error("expected bias-length error")
+	}
+}
+
+func TestMaxPool2D(t *testing.T) {
+	in := MustFromSlice([]float32{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		9, 10, 11, 12,
+		13, 14, 15, 16,
+	}, 1, 4, 4)
+	out, err := MaxPool2D(in, PoolSpec{Kernel: 2, Stride: 2})
+	if err != nil {
+		t.Fatalf("MaxPool2D: %v", err)
+	}
+	want := []float32{6, 8, 14, 16}
+	for i, v := range out.Data() {
+		if v != want[i] {
+			t.Fatalf("out[%d] = %v, want %v", i, v, want[i])
+		}
+	}
+}
+
+func TestAvgPool2D(t *testing.T) {
+	in := MustFromSlice([]float32{
+		1, 2,
+		3, 4,
+	}, 1, 2, 2)
+	out, err := AvgPool2D(in, PoolSpec{Kernel: 2, Stride: 2})
+	if err != nil {
+		t.Fatalf("AvgPool2D: %v", err)
+	}
+	if out.Data()[0] != 2.5 {
+		t.Errorf("avg = %v, want 2.5", out.Data()[0])
+	}
+}
+
+func TestAvgPool2DPaddingDivisor(t *testing.T) {
+	// With padding, divisor counts only valid cells.
+	in := MustFromSlice([]float32{4}, 1, 1, 1)
+	out, err := AvgPool2D(in, PoolSpec{Kernel: 3, Stride: 1, Pad: 1})
+	if err != nil {
+		t.Fatalf("AvgPool2D: %v", err)
+	}
+	if out.Data()[0] != 4 {
+		t.Errorf("padded avg = %v, want 4 (single valid cell)", out.Data()[0])
+	}
+}
+
+func TestGridMaxPool(t *testing.T) {
+	in := New(3, 8, 8)
+	for i := range in.Data() {
+		in.Data()[i] = float32(i)
+	}
+	out, err := GridMaxPool(in, 2)
+	if err != nil {
+		t.Fatalf("GridMaxPool: %v", err)
+	}
+	if !out.Shape().Equal(Shape{3, 2, 2}) {
+		t.Fatalf("shape = %v, want (3,2,2)", out.Shape())
+	}
+	// Shape predictor must agree with actual output.
+	if !GridPooledShape(in.Shape(), 2).Equal(out.Shape()) {
+		t.Errorf("GridPooledShape = %v, actual %v", GridPooledShape(in.Shape(), 2), out.Shape())
+	}
+}
+
+func TestGridMaxPoolNoOpWhenSmall(t *testing.T) {
+	in := New(5, 2, 2)
+	out, err := GridMaxPool(in, 2)
+	if err != nil {
+		t.Fatalf("GridMaxPool: %v", err)
+	}
+	if out != in {
+		t.Error("expected pass-through for input already at grid size")
+	}
+	if !GridPooledShape(in.Shape(), 2).Equal(in.Shape()) {
+		t.Error("GridPooledShape should be identity for small inputs")
+	}
+}
+
+func TestConcatChannels(t *testing.T) {
+	a := MustFromSlice([]float32{1, 2, 3, 4}, 1, 2, 2)
+	b := MustFromSlice([]float32{5, 6, 7, 8, 9, 10, 11, 12}, 2, 2, 2)
+	out, err := ConcatChannels(a, b)
+	if err != nil {
+		t.Fatalf("ConcatChannels: %v", err)
+	}
+	if !out.Shape().Equal(Shape{3, 2, 2}) {
+		t.Fatalf("shape = %v, want (3,2,2)", out.Shape())
+	}
+	want := []float32{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}
+	for i, v := range out.Data() {
+		if v != want[i] {
+			t.Fatalf("out[%d] = %v, want %v", i, v, want[i])
+		}
+	}
+}
+
+func TestConcatChannelsErrors(t *testing.T) {
+	if _, err := ConcatChannels(); err == nil {
+		t.Error("empty concat accepted")
+	}
+	if _, err := ConcatChannels(New(4)); err == nil {
+		t.Error("rank-1 input accepted")
+	}
+	if _, err := ConcatChannels(New(1, 2, 2), New(1, 3, 3)); err == nil {
+		t.Error("spatial mismatch accepted")
+	}
+}
+
+func TestReLU(t *testing.T) {
+	a := MustFromSlice([]float32{-1, 0, 2, -3}, 4)
+	ReLU(a)
+	want := []float32{0, 0, 2, 0}
+	for i, v := range a.Data() {
+		if v != want[i] {
+			t.Fatalf("relu[%d] = %v, want %v", i, v, want[i])
+		}
+	}
+}
+
+func TestAddInPlace(t *testing.T) {
+	a := MustFromSlice([]float32{1, 2}, 2)
+	b := MustFromSlice([]float32{10, 20}, 2)
+	if err := AddInPlace(a, b); err != nil {
+		t.Fatalf("AddInPlace: %v", err)
+	}
+	if a.Data()[0] != 11 || a.Data()[1] != 22 {
+		t.Errorf("add result = %v", a.Data())
+	}
+	if err := AddInPlace(a, New(3)); err == nil {
+		t.Error("expected shape error")
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	// [[1,2],[3,4]] * [1,1] + [0,10] = [3,17]
+	out, err := MatVec([]float32{1, 2, 3, 4}, 2, 2, []float32{1, 1}, []float32{0, 10})
+	if err != nil {
+		t.Fatalf("MatVec: %v", err)
+	}
+	if out[0] != 3 || out[1] != 17 {
+		t.Errorf("MatVec = %v, want [3 17]", out)
+	}
+	if _, err := MatVec([]float32{1}, 2, 2, []float32{1, 1}, []float32{0, 0}); err == nil {
+		t.Error("expected dimension error")
+	}
+}
+
+func TestBatchNorm(t *testing.T) {
+	a := MustFromSlice([]float32{1, 2, 3, 4}, 1, 2, 2)
+	// gamma=2, beta=1, mean=2.5, var=1.25 -> normalized then scaled.
+	err := BatchNorm(a, []float32{2}, []float32{1}, []float32{2.5}, []float32{1.25}, 0)
+	if err != nil {
+		t.Fatalf("BatchNorm: %v", err)
+	}
+	sd := float32(math.Sqrt(1.25))
+	want := []float32{
+		2*(1-2.5)/sd + 1, 2*(2-2.5)/sd + 1,
+		2*(3-2.5)/sd + 1, 2*(4-2.5)/sd + 1,
+	}
+	for i, v := range a.Data() {
+		if !almostEqual(v, want[i], 1e-5) {
+			t.Fatalf("bn[%d] = %v, want %v", i, v, want[i])
+		}
+	}
+	if err := BatchNorm(a, []float32{1, 2}, []float32{0}, []float32{0}, []float32{1}, 0); err == nil {
+		t.Error("expected param-length error")
+	}
+}
+
+func TestGlobalAvgPool(t *testing.T) {
+	in := MustFromSlice([]float32{
+		1, 2, 3, 4, // channel 0: mean 2.5
+		10, 10, 10, 10, // channel 1: mean 10
+	}, 2, 2, 2)
+	out, err := GlobalAvgPool(in)
+	if err != nil {
+		t.Fatalf("GlobalAvgPool: %v", err)
+	}
+	if !out.Shape().Equal(Shape{2}) {
+		t.Fatalf("shape = %v, want (2)", out.Shape())
+	}
+	if out.Data()[0] != 2.5 || out.Data()[1] != 10 {
+		t.Errorf("gap = %v", out.Data())
+	}
+}
+
+func TestSoftmax(t *testing.T) {
+	in := MustFromSlice([]float32{1, 2, 3}, 3)
+	out, err := Softmax(in)
+	if err != nil {
+		t.Fatalf("Softmax: %v", err)
+	}
+	var sum float32
+	for _, v := range out.Data() {
+		if v <= 0 || v >= 1 {
+			t.Fatalf("softmax value out of (0,1): %v", v)
+		}
+		sum += v
+	}
+	if !almostEqual(sum, 1, 1e-5) {
+		t.Errorf("softmax sum = %v, want 1", sum)
+	}
+	if !(out.Data()[2] > out.Data()[1] && out.Data()[1] > out.Data()[0]) {
+		t.Error("softmax not monotone in input")
+	}
+}
+
+func TestSoftmaxNumericalStability(t *testing.T) {
+	in := MustFromSlice([]float32{1000, 1000, 1000}, 3)
+	out, err := Softmax(in)
+	if err != nil {
+		t.Fatalf("Softmax: %v", err)
+	}
+	for _, v := range out.Data() {
+		if math.IsNaN(float64(v)) || !almostEqual(v, 1.0/3.0, 1e-5) {
+			t.Fatalf("softmax of large equal inputs = %v, want 1/3", v)
+		}
+	}
+}
+
+// Property: conv output shape predicted by OutShape always matches the actual
+// tensor produced by Conv2D.
+func TestConvShapeConsistencyProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(hSeed, kSeed, sSeed, pSeed uint8) bool {
+		h := int(hSeed%12) + 4
+		k := int(kSeed%3) + 1
+		s := int(sSeed%2) + 1
+		p := int(pSeed % 2)
+		spec := Conv2DSpec{InChannels: 1, OutChannels: 2, Kernel: k, Stride: s, Pad: p}
+		in := New(1, h, h)
+		for i := range in.Data() {
+			in.Data()[i] = rng.Float32()
+		}
+		want, err := spec.OutShape(in.Shape())
+		if err != nil {
+			return true // invalid combo; nothing to check
+		}
+		w := make([]float32, spec.WeightCount())
+		out, err := Conv2D(in, spec, w, []float32{0, 0})
+		return err == nil && out.Shape().Equal(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ReLU output is always non-negative and idempotent.
+func TestReLUProperty(t *testing.T) {
+	f := func(vals []float32) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		tt := MustFromSlice(append([]float32(nil), vals...), len(vals))
+		ReLU(tt)
+		for _, v := range tt.Data() {
+			if v < 0 {
+				return false
+			}
+		}
+		before := append([]float32(nil), tt.Data()...)
+		ReLU(tt)
+		for i, v := range tt.Data() {
+			if v != before[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: max pooling never produces a value absent from the input window
+// range: output max <= input max and output min >= input min.
+func TestMaxPoolBoundsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(seed uint8) bool {
+		h := int(seed%6)*2 + 4
+		in := New(2, h, h)
+		for i := range in.Data() {
+			in.Data()[i] = rng.Float32()*2 - 1
+		}
+		out, err := MaxPool2D(in, PoolSpec{Kernel: 2, Stride: 2})
+		if err != nil {
+			return false
+		}
+		var inMax, outMax float32 = -2, -2
+		for _, v := range in.Data() {
+			if v > inMax {
+				inMax = v
+			}
+		}
+		for _, v := range out.Data() {
+			if v > outMax {
+				outMax = v
+			}
+		}
+		return outMax <= inMax
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
