@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/dataflow"
+	"repro/internal/featurestore"
 	"repro/internal/memory"
 	"repro/internal/plan"
 	"repro/internal/sim"
@@ -99,6 +100,51 @@ func BenchmarkAblationSerializedFormat(b *testing.B) {
 			b.ReportMetric(float64(rd.SpilledBytes)/(1<<30), "deser-spill-GB")
 			b.ReportMetric(float64(rs.SpilledBytes)/(1<<30), "ser-spill-GB")
 		}
+	}
+}
+
+// BenchmarkAblationFeatureStore measures — on the real engine, via the
+// dataflow FLOP counters — what the materialized feature store saves: a cold
+// run pays full partial-CNN inference, the warm repeat of the same workload
+// attaches every stage from the store and executes zero CNN FLOPs.
+func BenchmarkAblationFeatureStore(b *testing.B) {
+	spec := data.Foods().WithRows(300)
+	structRows, imageRows, err := data.Generate(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(store *featurestore.Store) *core.Result {
+		res, err := core.Run(core.Spec{
+			Nodes: 2, CoresPerNode: 2, MemPerNode: memory.GB(32),
+			SystemKind: memory.SparkLike,
+			ModelName:  "tiny-alexnet", NumLayers: 2,
+			Downstream: core.DefaultDownstream(),
+			StructRows: structRows, ImageRows: imageRows,
+			Seed: 9, FeatureStore: store,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		store, err := featurestore.Open(b.TempDir(), memory.MB(256))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cold := run(store)
+		warm := run(store)
+		if warm.Cache.StagesExecuted != 0 {
+			b.Fatalf("warm run executed %d stages live", warm.Cache.StagesExecuted)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(cold.Counters.FLOPs)/1e9, "cold-GFLOPs")
+			b.ReportMetric(float64(warm.Counters.FLOPs)/1e9, "warm-GFLOPs")
+			b.ReportMetric(cold.TimingFor("infer:").Seconds(), "cold-infer-sec")
+			b.ReportMetric(warm.TimingFor("cache:").Seconds(), "warm-attach-sec")
+		}
+		store.Close()
 	}
 }
 

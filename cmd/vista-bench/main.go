@@ -47,22 +47,46 @@ func runExhibits(w io.Writer, only string, fig8Rows, fig15Rows int) error {
 // runExhibitsCSV is runExhibits with optional per-exhibit CSV output.
 func runExhibitsCSV(w io.Writer, only string, fig8Rows, fig15Rows int, csvDir string) error {
 	exhibits := []exhibit{
-		{"fig6", func() (string, experiments.CSVExporter, error) { r, err := experiments.Figure6(); return render(r, err) }},
-		{"fig7a", func() (string, experiments.CSVExporter, error) { r, err := experiments.Figure7A(); return render(r, err) }},
-		{"fig7b", func() (string, experiments.CSVExporter, error) { r, err := experiments.Figure7B(); return render(r, err) }},
+		{"fig6", func() (string, experiments.CSVExporter, error) {
+			r, err := experiments.Figure6()
+			return render(r, err)
+		}},
+		{"fig7a", func() (string, experiments.CSVExporter, error) {
+			r, err := experiments.Figure7A()
+			return render(r, err)
+		}},
+		{"fig7b", func() (string, experiments.CSVExporter, error) {
+			r, err := experiments.Figure7B()
+			return render(r, err)
+		}},
 		{"fig8", func() (string, experiments.CSVExporter, error) {
 			r, err := experiments.Figure8(experiments.Figure8Options{Rows: fig8Rows})
 			return render(r, err)
 		}},
 		{"fig9", func() (string, experiments.CSVExporter, error) { return renderSweeps(experiments.Figure9()) }},
 		{"fig10", func() (string, experiments.CSVExporter, error) { return renderSweeps(experiments.Figure10()) }},
-		{"fig11", func() (string, experiments.CSVExporter, error) { r, err := experiments.Figure11(); return render(r, err) }},
-		{"fig12", func() (string, experiments.CSVExporter, error) { r, err := experiments.Figure12(); return render(r, err) }},
-		{"fig15", func() (string, experiments.CSVExporter, error) { r, err := experiments.Figure15(fig15Rows); return render(r, err) }},
-		{"fig16", func() (string, experiments.CSVExporter, error) { r, err := experiments.Figure16(); return render(r, err) }},
+		{"fig11", func() (string, experiments.CSVExporter, error) {
+			r, err := experiments.Figure11()
+			return render(r, err)
+		}},
+		{"fig12", func() (string, experiments.CSVExporter, error) {
+			r, err := experiments.Figure12()
+			return render(r, err)
+		}},
+		{"fig15", func() (string, experiments.CSVExporter, error) {
+			r, err := experiments.Figure15(fig15Rows)
+			return render(r, err)
+		}},
+		{"fig16", func() (string, experiments.CSVExporter, error) {
+			r, err := experiments.Figure16()
+			return render(r, err)
+		}},
 		{"table2", func() (string, experiments.CSVExporter, error) { r, err := experiments.Table2(); return render(r, err) }},
 		{"table3", func() (string, experiments.CSVExporter, error) { r, err := experiments.Table3(); return render(r, err) }},
-		{"fig17", func() (string, experiments.CSVExporter, error) { r, err := experiments.Figure17(); return render(r, err) }},
+		{"fig17", func() (string, experiments.CSVExporter, error) {
+			r, err := experiments.Figure17()
+			return render(r, err)
+		}},
 		{"sec52", func() (string, experiments.CSVExporter, error) {
 			r, err := experiments.Section52(0)
 			if err != nil {

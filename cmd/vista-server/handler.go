@@ -5,10 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sync"
 
 	"repro/internal/cnn"
 	"repro/internal/core"
 	"repro/internal/data"
+	"repro/internal/featurestore"
 	"repro/internal/memory"
 	"repro/internal/optimizer"
 	"repro/internal/plan"
@@ -94,17 +96,75 @@ func toDecisionJSON(d optimizer.Decision) decisionJSON {
 	}
 }
 
-// newHandler builds the service mux.
-func newHandler() http.Handler {
+// api is the service's process-wide state: the shared feature store (so
+// repeated /run and /simulate requests on the same dataset+CNN reuse
+// features across HTTP calls) and the content addresses of past runs.
+type api struct {
+	store *featurestore.Store // nil = caching disabled
+
+	mu sync.Mutex
+	// runKeys remembers each served workload's feature-store content
+	// address, so /simulate can probe the store for workloads /run has
+	// materialized.
+	runKeys map[string]runKey
+}
+
+// runKey is the store's content-address pair for one workload.
+type runKey struct {
+	weightsSum, dataSum string
+}
+
+// workloadKey identifies a workload for cross-request cache probing.
+func workloadKey(req *workloadRequest) string {
+	return fmt.Sprintf("%s|%s|%d|%d", req.Model, req.Dataset, req.Rows, req.Seed)
+}
+
+// newHandler builds the service mux around a shared feature store (nil
+// disables cross-run caching).
+func newHandler(store *featurestore.Store) http.Handler {
+	a := &api{store: store, runKeys: make(map[string]runKey)}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	mux.HandleFunc("GET /roster", handleRoster)
+	mux.HandleFunc("GET /featurestore", a.handleFeatureStore)
 	mux.HandleFunc("POST /explain", handleExplain)
-	mux.HandleFunc("POST /simulate", handleSimulate)
-	mux.HandleFunc("POST /run", handleRun)
+	mux.HandleFunc("POST /simulate", a.handleSimulate)
+	mux.HandleFunc("POST /run", a.handleRun)
 	return mux
+}
+
+// handleFeatureStore reports the store's counters.
+func (a *api) handleFeatureStore(w http.ResponseWriter, _ *http.Request) {
+	if a.store == nil {
+		writeJSON(w, http.StatusOK, map[string]any{"enabled": false})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"enabled": true,
+		"dir":     a.store.Dir(),
+		"stats":   a.store.Snapshot(),
+	})
+}
+
+// cachedLayersFor probes the feature store for a workload /run has
+// materialized before: how many of the plan's layers (bottom-up) are cached.
+func (a *api) cachedLayersFor(req *workloadRequest, p *plan.Plan) int {
+	if a.store == nil {
+		return 0
+	}
+	a.mu.Lock()
+	rk, ok := a.runKeys[workloadKey(req)]
+	a.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	layers := make([]int, len(p.Layers))
+	for i, l := range p.Layers {
+		layers[i] = l.LayerIndex
+	}
+	return a.store.CachedLayers(req.Model, rk.weightsSum, rk.dataSum, layers)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -131,11 +191,11 @@ func decodeRequest(r *http.Request, forRun bool) (*workloadRequest, error) {
 
 func handleRoster(w http.ResponseWriter, _ *http.Request) {
 	type entry struct {
-		Name            string `json:"name"`
-		Params          int64  `json:"params"`
-		SerializedBytes int64  `json:"serialized_bytes"`
-		MemBytes        int64  `json:"mem_bytes"`
-		GFLOPs          float64 `json:"gflops_per_inference"`
+		Name            string   `json:"name"`
+		Params          int64    `json:"params"`
+		SerializedBytes int64    `json:"serialized_bytes"`
+		MemBytes        int64    `json:"mem_bytes"`
+		GFLOPs          float64  `json:"gflops_per_inference"`
 		FeatureLayers   []string `json:"feature_layers"`
 	}
 	var out []entry
@@ -214,7 +274,7 @@ func handleExplain(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func handleSimulate(w http.ResponseWriter, r *http.Request) {
+func (a *api) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	req, err := decodeRequest(r, false)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -236,6 +296,10 @@ func handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	// A workload /run already materialized simulates against warm features:
+	// cached stages cost store I/O instead of CNN inference.
+	cachedLayers := a.cachedLayersFor(req, wl.Plan)
+	wl.Inputs.CachedLayers = cachedLayers
 	cfg, err := sim.VistaConfig(wl)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err)
@@ -272,6 +336,7 @@ func handleSimulate(w http.ResponseWriter, r *http.Request) {
 		"read_sec":      res.ReadSec,
 		"join_sec":      res.JoinSec,
 		"spilled_bytes": res.SpilledBytes,
+		"cached_layers": cachedLayers,
 		"layers":        layers,
 	})
 }
@@ -279,7 +344,7 @@ func handleSimulate(w http.ResponseWriter, r *http.Request) {
 // maxRunRows bounds /run's dataset size: this endpoint executes for real.
 const maxRunRows = 20000
 
-func handleRun(w http.ResponseWriter, r *http.Request) {
+func (a *api) handleRun(w http.ResponseWriter, r *http.Request) {
 	req, err := decodeRequest(r, true)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -311,7 +376,8 @@ func handleRun(w http.ResponseWriter, r *http.Request) {
 		ModelName:  req.Model, NumLayers: req.Layers,
 		Downstream: core.DefaultDownstream(),
 		StructRows: structRows, ImageRows: imageRows,
-		Seed: req.Seed,
+		Seed:         req.Seed,
+		FeatureStore: a.store,
 	})
 	if err != nil {
 		if oom, ok := memory.IsOOM(err); ok {
@@ -332,10 +398,18 @@ func handleRun(w http.ResponseWriter, r *http.Request) {
 		layers = append(layers, layerJSON{Layer: l.LayerName, FeatureDim: l.FeatureDim,
 			TrainF1: l.Train.F1, TestF1: l.Test.F1})
 	}
+	if res.Cache.Enabled {
+		a.mu.Lock()
+		a.runKeys[workloadKey(req)] = runKey{
+			weightsSum: res.Cache.WeightsSum, dataSum: res.Cache.DataSum,
+		}
+		a.mu.Unlock()
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"crashed":    false,
 		"decision":   toDecisionJSON(res.Decision),
 		"layers":     layers,
 		"elapsed_ms": res.Elapsed.Milliseconds(),
+		"cache":      res.Cache,
 	})
 }

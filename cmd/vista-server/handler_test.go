@@ -6,6 +6,9 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"repro/internal/featurestore"
+	"repro/internal/memory"
 )
 
 func doJSON(t *testing.T, h http.Handler, method, path, body string) (int, map[string]any) {
@@ -28,7 +31,7 @@ func doJSON(t *testing.T, h http.Handler, method, path, body string) (int, map[s
 }
 
 func TestHealthz(t *testing.T) {
-	h := newHandler()
+	h := newHandler(nil)
 	code, body := doJSON(t, h, "GET", "/healthz", "")
 	if code != http.StatusOK || body["status"] != "ok" {
 		t.Fatalf("healthz = %d %v", code, body)
@@ -36,7 +39,7 @@ func TestHealthz(t *testing.T) {
 }
 
 func TestRoster(t *testing.T) {
-	h := newHandler()
+	h := newHandler(nil)
 	code, body := doJSON(t, h, "GET", "/roster", "")
 	if code != http.StatusOK {
 		t.Fatalf("roster = %d", code)
@@ -52,7 +55,7 @@ func TestRoster(t *testing.T) {
 }
 
 func TestExplainEndpoint(t *testing.T) {
-	h := newHandler()
+	h := newHandler(nil)
 	code, body := doJSON(t, h, "POST", "/explain", `{"model":"resnet50","dataset":"foods","layers":5}`)
 	if code != http.StatusOK {
 		t.Fatalf("explain = %d %v", code, body)
@@ -72,7 +75,7 @@ func TestExplainEndpoint(t *testing.T) {
 }
 
 func TestExplainValidationEndpoint(t *testing.T) {
-	h := newHandler()
+	h := newHandler(nil)
 	if code, _ := doJSON(t, h, "POST", "/explain", `{`); code != http.StatusBadRequest {
 		t.Errorf("malformed body = %d", code)
 	}
@@ -85,7 +88,7 @@ func TestExplainValidationEndpoint(t *testing.T) {
 }
 
 func TestSimulateEndpoint(t *testing.T) {
-	h := newHandler()
+	h := newHandler(nil)
 	code, body := doJSON(t, h, "POST", "/simulate", `{"model":"resnet50","dataset":"foods","layers":5}`)
 	if code != http.StatusOK {
 		t.Fatalf("simulate = %d %v", code, body)
@@ -114,8 +117,69 @@ func TestSimulateEndpoint(t *testing.T) {
 	}
 }
 
+// TestServerFeatureReuse exercises the process-wide store: a repeated /run
+// serves every stage from cache, /featurestore reports the traffic, and
+// /simulate prices the now-warm workload below a cold one.
+func TestServerFeatureReuse(t *testing.T) {
+	store, err := featurestore.Open(t.TempDir(), memory.MB(64))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	h := newHandler(store)
+	const runBody = `{"model":"tiny-alexnet","dataset":"foods","layers":2,"rows":100}`
+
+	code, cold := doJSON(t, h, "POST", "/run", runBody)
+	if code != http.StatusOK || cold["crashed"] != false {
+		t.Fatalf("cold run = %d %v", code, cold)
+	}
+	coldCache := cold["cache"].(map[string]any)
+	if coldCache["enabled"] != true || coldCache["stages_from_cache"].(float64) != 0 ||
+		coldCache["entries_stored"].(float64) == 0 {
+		t.Fatalf("cold cache report: %v", coldCache)
+	}
+
+	_, warm := doJSON(t, h, "POST", "/run", runBody)
+	warmCache := warm["cache"].(map[string]any)
+	if warmCache["stages_executed"].(float64) != 0 || warmCache["stages_from_cache"].(float64) == 0 {
+		t.Fatalf("repeated run did not reuse features: %v", warmCache)
+	}
+
+	code, fs := doJSON(t, h, "GET", "/featurestore", "")
+	if code != http.StatusOK || fs["enabled"] != true {
+		t.Fatalf("featurestore = %d %v", code, fs)
+	}
+	if stats := fs["stats"].(map[string]any); stats["hits"].(float64) == 0 {
+		t.Fatalf("store saw no hits: %v", stats)
+	}
+
+	// /simulate on the materialized workload sees the cached layers; an
+	// unseen workload (different seed) stays cold and costs more.
+	const simBody = `{"model":"tiny-alexnet","dataset":"foods","layers":2,"rows":100}`
+	_, warmSim := doJSON(t, h, "POST", "/simulate", simBody)
+	if warmSim["cached_layers"].(float64) != 2 {
+		t.Fatalf("warm simulate cached_layers = %v, want 2", warmSim["cached_layers"])
+	}
+	_, coldSim := doJSON(t, h, "POST", "/simulate",
+		`{"model":"tiny-alexnet","dataset":"foods","layers":2,"rows":100,"seed":8}`)
+	if coldSim["cached_layers"].(float64) != 0 {
+		t.Fatalf("unseen workload reported cached layers: %v", coldSim["cached_layers"])
+	}
+	if warmSim["total_minutes"].(float64) >= coldSim["total_minutes"].(float64) {
+		t.Errorf("warm simulate (%v min) not cheaper than cold (%v min)",
+			warmSim["total_minutes"], coldSim["total_minutes"])
+	}
+}
+
+// TestFeatureStoreEndpointDisabled covers the nil-store configuration.
+func TestFeatureStoreEndpointDisabled(t *testing.T) {
+	code, body := doJSON(t, newHandler(nil), "GET", "/featurestore", "")
+	if code != http.StatusOK || body["enabled"] != false {
+		t.Fatalf("featurestore = %d %v", code, body)
+	}
+}
+
 func TestRunEndpoint(t *testing.T) {
-	h := newHandler()
+	h := newHandler(nil)
 	code, body := doJSON(t, h, "POST", "/run",
 		`{"model":"tiny-alexnet","dataset":"foods","layers":2,"rows":120}`)
 	if code != http.StatusOK {

@@ -3,9 +3,14 @@
 //
 //	GET  /healthz              liveness probe
 //	GET  /roster               the CNN roster with derived statistics
+//	GET  /featurestore         feature-store counters (hits, misses, bytes)
 //	POST /explain              optimizer decision + size analysis (no execution)
 //	POST /simulate             predicted runtime on a calibrated cluster profile
 //	POST /run                  real tiny-scale execution with per-layer metrics
+//
+// The server holds one process-wide feature store, so repeated /run requests
+// on the same dataset+CNN reuse materialized features, and /simulate prices
+// cached layers at store-I/O cost instead of CNN inference.
 //
 // Example:
 //
@@ -14,21 +19,86 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/featurestore"
 )
+
+// shutdownTimeout bounds how long in-flight requests may drain after
+// SIGINT/SIGTERM.
+const shutdownTimeout = 10 * time.Second
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	cacheDir := flag.String("feature-cache", "",
+		"feature store directory (default: a fresh per-process temp dir)")
+	cacheMB := flag.Int64("feature-cache-mb", 256,
+		"feature store byte budget in MiB (0 disables cross-run feature reuse)")
 	flag.Parse()
 
-	srv := &http.Server{Addr: *addr, Handler: newHandler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var store *featurestore.Store
+	if *cacheMB > 0 {
+		dir := *cacheDir
+		if dir == "" {
+			tmp, err := os.MkdirTemp("", "vista-featurestore-")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "vista-server:", err)
+				os.Exit(1)
+			}
+			dir = tmp
+		}
+		var err error
+		store, err = featurestore.Open(dir, *cacheMB<<20)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vista-server:", err)
+			os.Exit(1)
+		}
+		defer store.Close()
+		log.Printf("feature store at %s (budget %d MiB)", dir, *cacheMB)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: newHandler(store)}
 	log.Printf("vista-server listening on %s", *addr)
-	if err := srv.ListenAndServe(); err != nil {
+	if err := serve(ctx, srv); err != nil {
 		fmt.Fprintln(os.Stderr, "vista-server:", err)
 		os.Exit(1)
 	}
+	log.Printf("vista-server shut down cleanly")
+}
+
+// serve runs srv until ctx is cancelled (e.g. by SIGINT/SIGTERM), then
+// drains in-flight requests via http.Server.Shutdown. It returns nil on a
+// clean shutdown and the underlying error otherwise.
+func serve(ctx context.Context, srv *http.Server) error {
+	errc := make(chan error, 1)
+	go func() {
+		err := srv.ListenAndServe()
+		if errors.Is(err, http.ErrServerClosed) {
+			err = nil
+		}
+		errc <- err
+	}()
+	select {
+	case err := <-errc:
+		return err // listener failed before any shutdown signal
+	case <-ctx.Done():
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		return err
+	}
+	return <-errc
 }

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"context"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestServeGracefulShutdown asserts serve drains and returns nil once its
+// context is cancelled — the SIGINT/SIGTERM path.
+func TestServeGracefulShutdown(t *testing.T) {
+	srv := &http.Server{Addr: "127.0.0.1:0", Handler: newHandler(nil)}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- serve(ctx, srv) }()
+	time.Sleep(50 * time.Millisecond) // let the listener come up
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v, want clean shutdown", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve did not shut down after cancellation")
+	}
+}
+
+// TestServeListenError asserts listener failures surface instead of hanging
+// until a signal.
+func TestServeListenError(t *testing.T) {
+	srv := &http.Server{Addr: "256.0.0.1:-1", Handler: newHandler(nil)}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := serve(ctx, srv); err == nil {
+		t.Fatal("serve accepted an unlistenable address")
+	}
+}

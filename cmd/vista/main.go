@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/dataflow"
+	"repro/internal/featurestore"
 	"repro/internal/memory"
 	"repro/internal/ml"
 	"repro/internal/plan"
@@ -40,6 +41,8 @@ func main() {
 		dataDir    = flag.String("data", "", "load the dataset from this directory instead of generating it")
 		saveData   = flag.String("save-data", "", "write the generated dataset to this directory (one file per image)")
 		saveModels = flag.String("save-models", "", "write per-layer trained model artifacts (JSON) to this directory")
+		cacheDir   = flag.String("feature-cache", "", "materialize CNN features in this directory and reuse them across invocations")
+		cacheMB    = flag.Int64("feature-cache-mb", 512, "feature cache byte budget in MiB (with -feature-cache)")
 	)
 	flag.Parse()
 
@@ -48,6 +51,7 @@ func main() {
 		nodes: *nodes, cores: *cores, memGB: *memGB,
 		planKind: *planKind, placement: *placement, downstream: *downstream,
 		seed: *seed, dataDir: *dataDir, saveData: *saveData, saveModels: *saveModels,
+		cacheDir: *cacheDir, cacheMB: *cacheMB,
 	}
 	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "vista:", err)
@@ -71,6 +75,8 @@ type runOptions struct {
 	dataDir    string
 	saveData   string
 	saveModels string
+	cacheDir   string
+	cacheMB    int64
 }
 
 func run(o runOptions) error {
@@ -90,6 +96,14 @@ func run(o runOptions) error {
 		StructRows:   structRows,
 		ImageRows:    imageRows,
 		Seed:         o.seed,
+	}
+	if o.cacheDir != "" {
+		store, err := featurestore.Open(o.cacheDir, o.cacheMB<<20)
+		if err != nil {
+			return fmt.Errorf("open feature cache: %w", err)
+		}
+		defer store.Close()
+		runSpec.FeatureStore = store
 	}
 	switch strings.ToLower(o.planKind) {
 	case "lazy":
@@ -148,6 +162,13 @@ func run(o runOptions) error {
 		res.Elapsed.Round(1e6), c.TasksRun, c.RowsProcessed, float64(c.FLOPs)/1e9,
 		memory.FormatBytes(c.BytesShuffled), memory.FormatBytes(c.BytesSpilled),
 		memory.FormatBytes(c.PeakStorageBytes))
+	if res.Cache.Enabled {
+		st := runSpec.FeatureStore.Snapshot()
+		fmt.Printf("Feature cache: %d/%d stages from cache | loaded %d, stored %d entries | store %s in %d entries (hits %d, misses %d, evictions %d)\n",
+			res.Cache.StagesFromCache, res.Cache.StagesFromCache+res.Cache.StagesExecuted,
+			res.Cache.EntriesLoaded, res.Cache.EntriesStored,
+			memory.FormatBytes(st.UsedBytes), st.Entries, st.Hits, st.Misses, st.Evictions)
+	}
 
 	if o.saveModels != "" {
 		if err := os.MkdirAll(o.saveModels, 0o755); err != nil {

@@ -14,13 +14,13 @@ func TestAlexNetShapes(t *testing.T) {
 		idx  int
 		want tensor.Shape
 	}{
-		{0, tensor.Shape{96, 55, 55}},   // conv1
-		{1, tensor.Shape{96, 27, 27}},   // pool1
-		{3, tensor.Shape{256, 13, 13}},  // pool2
-		{6, tensor.Shape{256, 13, 13}},  // conv5
-		{7, tensor.Shape{256, 6, 6}},    // pool5
-		{8, tensor.Shape{4096}},         // fc6
-		{10, tensor.Shape{1000}},        // fc8
+		{0, tensor.Shape{96, 55, 55}},  // conv1
+		{1, tensor.Shape{96, 27, 27}},  // pool1
+		{3, tensor.Shape{256, 13, 13}}, // pool2
+		{6, tensor.Shape{256, 13, 13}}, // conv5
+		{7, tensor.Shape{256, 6, 6}},   // pool5
+		{8, tensor.Shape{4096}},        // fc6
+		{10, tensor.Shape{1000}},       // fc8
 	}
 	for _, tc := range tests {
 		got, err := m.ShapeAt(tc.idx)

@@ -3,7 +3,9 @@ package cnn
 import (
 	"bytes"
 	"compress/flate"
+	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
@@ -96,8 +98,8 @@ func (r *weightReader) decodeLayer(depth int) (*LayerWeights, error) {
 	return w, nil
 }
 
-// SerializeWeights encodes realized weights into a compressed checkpoint.
-func SerializeWeights(w *Weights) ([]byte, error) {
+// encodeWeights produces the raw (pre-compression) checkpoint stream.
+func encodeWeights(w *Weights) []byte {
 	var raw bytes.Buffer
 	var scratch [4]byte
 	binary.LittleEndian.PutUint32(scratch[:], uint32(len(w.Layers)))
@@ -105,18 +107,32 @@ func SerializeWeights(w *Weights) ([]byte, error) {
 	for _, lw := range w.Layers {
 		encodeLayer(&raw, lw)
 	}
+	return raw.Bytes()
+}
+
+// SerializeWeights encodes realized weights into a compressed checkpoint.
+func SerializeWeights(w *Weights) ([]byte, error) {
 	var out bytes.Buffer
 	fw, err := flate.NewWriter(&out, flate.BestSpeed)
 	if err != nil {
 		return nil, fmt.Errorf("cnn: serialize: %w", err)
 	}
-	if _, err := fw.Write(raw.Bytes()); err != nil {
+	if _, err := fw.Write(encodeWeights(w)); err != nil {
 		return nil, fmt.Errorf("cnn: serialize: %w", err)
 	}
 	if err := fw.Close(); err != nil {
 		return nil, fmt.Errorf("cnn: serialize: %w", err)
 	}
 	return out.Bytes(), nil
+}
+
+// WeightsChecksum fingerprints realized weights as the hex SHA-256 of the
+// raw checkpoint stream. It hashes the pre-flate bytes so the checksum
+// depends only on the weight values, not on the compressor — the identity a
+// feature store uses to pin cached features to one exact set of weights.
+func WeightsChecksum(w *Weights) string {
+	sum := sha256.Sum256(encodeWeights(w))
+	return hex.EncodeToString(sum[:])
 }
 
 // DeserializeWeights reverses SerializeWeights. The layer count must match

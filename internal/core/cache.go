@@ -1,0 +1,207 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cnn"
+	"repro/internal/dataflow"
+	"repro/internal/featurestore"
+	"repro/internal/plan"
+	"repro/internal/tensor"
+)
+
+// This file connects the executor to internal/featurestore: before
+// scheduling a plan, Run probes the store for every step's outputs; steps
+// fully covered by materialized features are replaced with a cache attach
+// (zero CNN FLOPs), and steps that do run publish their features back for
+// future runs — DeepLens-style cross-run feature reuse on top of the Staged
+// executor.
+
+// stepCache holds the tensors one plan step would otherwise compute, fully
+// loaded from the store at probe time and indexed by row ID. Loading up
+// front makes the run immune to concurrent eviction from a shared store.
+type stepCache struct {
+	feats []map[int64]*tensor.Tensor // one map per emitted layer, in emit order
+	raw   map[int64]*tensor.Tensor   // staged raw carry (nil unless KeepRaw)
+}
+
+// runCache is one run's view of the feature store: the content-address
+// components shared by all of the run's keys, and which plan steps can be
+// served from materialized features.
+type runCache struct {
+	store      *featurestore.Store
+	model      string
+	weightsSum string
+	dataSum    string
+	steps      []*stepCache // indexed by plan step; nil = execute live
+	loaded     int          // store entries loaded
+}
+
+// loadRunCache probes the spec's feature store for the compiled plan. A step
+// is served from cache iff every emitted layer hits and, when it keeps a raw
+// carry, the carry hits too (a later stage may continue partial inference
+// from it). Returns nil when the spec has no store or the model's weights
+// cannot be realized (then no cache identity exists).
+func loadRunCache(spec *Spec, model *cnn.Model, p *plan.Plan) *runCache {
+	if spec.FeatureStore == nil {
+		return nil
+	}
+	w, err := model.RealizeWeights(spec.Seed)
+	if err != nil {
+		return nil
+	}
+	rc := &runCache{
+		store:      spec.FeatureStore,
+		model:      model.Name,
+		weightsSum: cnn.WeightsChecksum(w),
+		dataSum:    featurestore.DataChecksum(spec.ImageRows),
+		steps:      make([]*stepCache, len(p.Steps)),
+	}
+	for si, step := range p.Steps {
+		sc := &stepCache{feats: make([]map[int64]*tensor.Tensor, len(step.Emits))}
+		entries := 0
+		ok := true
+		for ei, em := range step.Emits {
+			if sc.feats[ei] = rc.load(em.LayerIndex, featurestore.Feature); sc.feats[ei] == nil {
+				ok = false
+				break
+			}
+			entries++
+		}
+		if ok && step.KeepRaw {
+			last := step.Emits[len(step.Emits)-1]
+			if sc.raw = rc.load(last.LayerIndex, featurestore.RawCarry); sc.raw == nil {
+				ok = false
+			} else {
+				entries++
+			}
+		}
+		if ok {
+			rc.steps[si] = sc
+			rc.loaded += entries
+		}
+	}
+	return rc
+}
+
+// key builds the content address for one of this run's layers.
+func (rc *runCache) key(layer int, kind featurestore.EntryKind) featurestore.Key {
+	return featurestore.Key{
+		Model:      rc.model,
+		WeightsSum: rc.weightsSum,
+		DataSum:    rc.dataSum,
+		LayerIndex: layer,
+		Kind:       kind,
+	}
+}
+
+// load fetches one entry and indexes its tensors by row ID; nil on a miss or
+// a malformed entry.
+func (rc *runCache) load(layer int, kind featurestore.EntryKind) map[int64]*tensor.Tensor {
+	rows, ok, err := rc.store.Get(rc.key(layer, kind))
+	if err != nil || !ok {
+		return nil
+	}
+	m := make(map[int64]*tensor.Tensor, len(rows))
+	for i := range rows {
+		if rows[i].Features == nil || rows[i].Features.Len() != 1 {
+			return nil
+		}
+		m[rows[i].ID] = rows[i].Features.Get(0)
+	}
+	return m
+}
+
+// cached reports whether plan step i is served from the store. Safe on a nil
+// receiver (no store configured).
+func (rc *runCache) cached(i int) bool {
+	return rc != nil && rc.steps[i] != nil
+}
+
+// cachedEmits counts the selected layers served from the store — the value
+// fed to optimizer.Inputs.CachedLayers so Equation 16's inputs shrink.
+func (rc *runCache) cachedEmits(p *plan.Plan) int {
+	if rc == nil {
+		return 0
+	}
+	n := 0
+	for i, step := range p.Steps {
+		if rc.cached(i) {
+			n += len(step.Emits)
+		}
+	}
+	return n
+}
+
+// attachStep replaces one inference pass with a cache attach: each row gets
+// the stored feature vectors (and raw carry) for its ID, in the same
+// TensorList layout the live UDF would produce — and no CNN FLOPs.
+func (ex *executor) attachStep(name string, in *dataflow.Table, step plan.Step, sc *stepCache) (*dataflow.Table, error) {
+	defer ex.record("cache:"+step.Emits[0].LayerName, time.Now())
+	return ex.engine.MapPartitions(name, in, func(_ *dataflow.TaskContext, rows []dataflow.Row) ([]dataflow.Row, error) {
+		out := make([]dataflow.Row, len(rows))
+		for i := range rows {
+			r := rows[i]
+			features := tensor.NewTensorList()
+			for _, m := range sc.feats {
+				t, ok := m[r.ID]
+				if !ok {
+					return nil, fmt.Errorf("core: cached features lack row %d", r.ID)
+				}
+				features.Append(t)
+			}
+			if sc.raw != nil {
+				t, ok := sc.raw[r.ID]
+				if !ok {
+					return nil, fmt.Errorf("core: cached raw carry lacks row %d", r.ID)
+				}
+				features.Append(t)
+			}
+			r.Features = features
+			r.Image = nil
+			out[i] = r
+		}
+		return out, nil
+	})
+}
+
+// publishStep materializes a live step's outputs back to the store — one
+// Feature entry per emitted layer, plus the raw carry for staged chains.
+// Best effort: a failed publish (e.g. driver memory pressure during Collect)
+// never fails the run that produced the features.
+func (ex *executor) publishStep(out *dataflow.Table, step plan.Step) {
+	rc := ex.cache
+	if rc == nil {
+		return
+	}
+	rows, err := ex.engine.Collect(out)
+	if err != nil {
+		return
+	}
+	slot := func(idx int) []dataflow.Row {
+		pub := make([]dataflow.Row, len(rows))
+		for i := range rows {
+			if rows[i].Features == nil || rows[i].Features.Len() <= idx {
+				return nil
+			}
+			pub[i] = dataflow.Row{ID: rows[i].ID, Features: tensor.NewTensorList(rows[i].Features.Get(idx))}
+		}
+		return pub
+	}
+	put := func(layer int, kind featurestore.EntryKind, idx int) {
+		pub := slot(idx)
+		if pub == nil {
+			return
+		}
+		if rc.store.Put(rc.key(layer, kind), pub) == nil {
+			ex.stored++
+		}
+	}
+	for ei, em := range step.Emits {
+		put(em.LayerIndex, featurestore.Feature, ei)
+	}
+	if step.KeepRaw {
+		put(step.Emits[len(step.Emits)-1].LayerIndex, featurestore.RawCarry, len(step.Emits))
+	}
+}

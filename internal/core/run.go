@@ -31,14 +31,42 @@ func Run(spec Spec) (*Result, error) {
 		return nil, err
 	}
 
-	decision, err := decide(spec, stats)
-	if err != nil {
-		return nil, err
-	}
 	compiled, err := plan.CompileFromStats(spec.PlanKind, spec.Placement, stats, spec.NumLayers,
 		plan.Options{PreMaterializeBase: spec.PreMaterializeBase})
 	if err != nil {
 		return nil, err
+	}
+	// Probe the feature store (when configured) before deciding: cached
+	// stages shrink the optimizer's cost picture.
+	cache := loadRunCache(&spec, model, compiled)
+	decision, err := decide(spec, stats, cache.cachedEmits(compiled))
+	if err != nil {
+		return nil, err
+	}
+
+	// A fully-warm run needs neither the raw image payloads nor a DL
+	// session; pre-materialization and any live inference step bring both
+	// back.
+	imagesNeeded, sessionNeeded := true, true
+	if cache != nil {
+		imagesNeeded = compiled.PreMaterializedBase >= 0
+		sessionNeeded = compiled.PreMaterializedBase >= 0
+		for i, step := range compiled.Steps {
+			if !cache.cached(i) {
+				sessionNeeded = true
+				if step.FromImage {
+					imagesNeeded = true
+				}
+			}
+		}
+	}
+	if !imagesNeeded {
+		stripped := make([]dataflow.Row, len(spec.ImageRows))
+		copy(stripped, spec.ImageRows)
+		for i := range stripped {
+			stripped[i].Image = nil
+		}
+		spec.ImageRows = stripped
 	}
 
 	cores := decision.CPU
@@ -58,11 +86,14 @@ func Run(spec Spec) (*Result, error) {
 	}
 	defer engine.Close()
 
-	session, err := dl.NewSession(engine, model, dl.Options{Seed: spec.Seed, GPUMemBytes: spec.GPUMemPerNode})
-	if err != nil {
-		return nil, err
+	var session *dl.Session
+	if sessionNeeded {
+		session, err = dl.NewSession(engine, model, dl.Options{Seed: spec.Seed, GPUMemBytes: spec.GPUMemPerNode})
+		if err != nil {
+			return nil, err
+		}
+		defer session.Close()
 	}
-	defer session.Close()
 
 	ex := &executor{
 		spec:     spec,
@@ -70,10 +101,22 @@ func Run(spec Spec) (*Result, error) {
 		session:  session,
 		decision: decision,
 		plan:     compiled,
+		cache:    cache,
 	}
 	layers, err := ex.run()
 	if err != nil {
 		return nil, err
+	}
+	report := CacheReport{
+		StagesFromCache: ex.fromCache,
+		StagesExecuted:  ex.executed,
+		EntriesStored:   ex.stored,
+	}
+	if cache != nil {
+		report.Enabled = true
+		report.EntriesLoaded = cache.loaded
+		report.WeightsSum = cache.weightsSum
+		report.DataSum = cache.dataSum
 	}
 	return &Result{
 		Decision: decision,
@@ -82,11 +125,15 @@ func Run(spec Spec) (*Result, error) {
 		Counters: engine.Counters().Snapshot(),
 		Elapsed:  time.Since(start),
 		Timings:  ex.timings,
+		Cache:    report,
 	}, nil
 }
 
-// decide runs the optimizer unless the spec pins a decision.
-func decide(spec Spec, stats *cnn.Stats) (optimizer.Decision, error) {
+// decide runs the optimizer unless the spec pins a decision. cachedLayers is
+// how many selected layers a feature store already holds; it shrinks the
+// Equation 16 inputs (a fully-warm run needs no images, replicas, or
+// broadcast).
+func decide(spec Spec, stats *cnn.Stats, cachedLayers int) (optimizer.Decision, error) {
 	if spec.Decision != nil {
 		return *spec.Decision, nil
 	}
@@ -94,6 +141,7 @@ func decide(spec Spec, stats *cnn.Stats) (optimizer.Decision, error) {
 	if err != nil {
 		return optimizer.Decision{}, err
 	}
+	in.CachedLayers = cachedLayers
 	return optimizer.Optimize(in, spec.params())
 }
 
@@ -117,10 +165,14 @@ func avgImageBytes(rows []dataflow.Row) int64 {
 type executor struct {
 	spec     Spec
 	engine   *dataflow.Engine
-	session  *dl.Session
+	session  *dl.Session // nil on fully-warm runs (no inference scheduled)
 	decision optimizer.Decision
 	plan     *plan.Plan
+	cache    *runCache // nil when no feature store is configured
 	timings  []StageTiming
+
+	// fromCache/executed/stored feed the run's CacheReport.
+	fromCache, executed, stored int
 }
 
 // record appends a stage timing measured from start.
@@ -230,10 +282,22 @@ func (ex *executor) runPasses(base *dataflow.Table, rawIdx int,
 		if step.FromImage {
 			input = base
 		}
-		out, err := ex.runStep(fmt.Sprintf("stage%d", i), input, step, rawIdx)
+		var out *dataflow.Table
+		var err error
+		if ex.cache.cached(i) {
+			out, err = ex.attachStep(fmt.Sprintf("stage%d", i), input, step, ex.cache.steps[i])
+		} else {
+			out, err = ex.runStep(fmt.Sprintf("stage%d", i), input, step, rawIdx)
+		}
 		if err != nil {
 			cleanup()
 			return nil, err
+		}
+		if ex.cache.cached(i) {
+			ex.fromCache++
+		} else {
+			ex.executed++
+			ex.publishStep(out, step)
 		}
 		for ei, em := range step.Emits {
 			res, err := trainFn(out, ei, em)
@@ -280,6 +344,9 @@ func (ex *executor) laterStepReadsImages(i int) bool {
 
 // runStep executes one inference pass.
 func (ex *executor) runStep(name string, in *dataflow.Table, step plan.Step, rawIdx int) (*dataflow.Table, error) {
+	if ex.session == nil {
+		return nil, fmt.Errorf("core: internal: inference step %s scheduled without a DL session", name)
+	}
 	defer ex.record("infer:"+step.Emits[0].LayerName, time.Now())
 	spec := dl.InferenceSpec{
 		From:       step.From,

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/cnn"
 	"repro/internal/dataflow"
+	"repro/internal/featurestore"
 	"repro/internal/memory"
 	"repro/internal/ml"
 	"repro/internal/optimizer"
@@ -100,6 +101,13 @@ type Spec struct {
 	// Seed drives CNN weight realization.
 	Seed int64
 
+	// FeatureStore, when non-nil, enables cross-run feature reuse: Run
+	// consults the store before scheduling partial-inference stages (a fully
+	// covered stage is attached from cache instead of computed) and
+	// publishes features it does compute back under the run's content
+	// address (model, weight checksum, image-content checksum, layer).
+	FeatureStore *featurestore.Store
+
 	// — Experiment overrides (default zero values = Vista's choices) —
 	// PlanKind/Placement force a logical plan; Vista's default is
 	// Staged/AJ (Section 4.2.1: "it suffices for Vista to only use our new
@@ -162,9 +170,28 @@ type LayerResult struct {
 // paper's Table 3 breakdown.
 type StageTiming struct {
 	// Label identifies the phase: "ingest", "join", "infer:<layer>",
-	// "train:<layer>", or "premat:<layer>".
+	// "train:<layer>", "premat:<layer>", or "cache:<layer>" (a stage served
+	// from the feature store).
 	Label   string
 	Elapsed time.Duration
+}
+
+// CacheReport summarizes a run's interaction with the feature store.
+type CacheReport struct {
+	// Enabled is true when the spec carried a feature store.
+	Enabled bool `json:"enabled"`
+	// StagesFromCache and StagesExecuted split the plan's inference stages
+	// into those attached from materialized features and those run live.
+	StagesFromCache int `json:"stages_from_cache"`
+	StagesExecuted  int `json:"stages_executed"`
+	// EntriesLoaded and EntriesStored count store entries read and written.
+	EntriesLoaded int `json:"entries_loaded"`
+	EntriesStored int `json:"entries_stored"`
+	// WeightsSum and DataSum are the run's content-address components,
+	// reusable to probe the store for this workload (e.g. by the server's
+	// /simulate path).
+	WeightsSum string `json:"weights_sum,omitempty"`
+	DataSum    string `json:"data_sum,omitempty"`
 }
 
 // Result is the output of one feature-transfer run: |L| trained models, the
@@ -177,6 +204,8 @@ type Result struct {
 	Elapsed  time.Duration
 	// Timings is the per-phase breakdown, in execution order.
 	Timings []StageTiming
+	// Cache reports feature-store usage (zero value when no store).
+	Cache CacheReport
 }
 
 // TimingFor sums the elapsed time of all phases whose label has the given

@@ -54,9 +54,9 @@ func rowsEqual(a, b *Row) bool {
 func TestRowCodecRoundTrip(t *testing.T) {
 	rows := []Row{
 		sampleRow(1),
-		{ID: 2},                                // all-nil payloads
-		{ID: 3, Structured: []float32{}},       // empty but non-nil
-		{ID: 4, Image: []byte{}},               // empty image
+		{ID: 2},                          // all-nil payloads
+		{ID: 3, Structured: []float32{}}, // empty but non-nil
+		{ID: 4, Image: []byte{}},         // empty image
 		{ID: 5, Features: tensor.NewTensorList()}, // empty list
 		{ID: -6, Label: -0.5, Structured: []float32{7}},
 	}

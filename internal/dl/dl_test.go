@@ -255,12 +255,12 @@ func TestInferenceSpecValidation(t *testing.T) {
 	}
 	defer s.Close()
 	cases := []InferenceSpec{
-		{From: 0, EmitLayers: nil, KeepRawAt: -1},               // emits nothing
-		{From: 5, EmitLayers: []int{3}, KeepRawAt: -1},          // emit below From
-		{From: 0, EmitLayers: []int{4, 2}, KeepRawAt: -1},       // not ascending
-		{From: 0, EmitLayers: []int{99}, KeepRawAt: -1},         // beyond model
-		{From: -1, EmitLayers: []int{2}, KeepRawAt: -1},         // negative From
-		{From: 0, EmitLayers: []int{6}, KeepRawAt: 3},           // raw not last
+		{From: 0, EmitLayers: nil, KeepRawAt: -1},         // emits nothing
+		{From: 5, EmitLayers: []int{3}, KeepRawAt: -1},    // emit below From
+		{From: 0, EmitLayers: []int{4, 2}, KeepRawAt: -1}, // not ascending
+		{From: 0, EmitLayers: []int{99}, KeepRawAt: -1},   // beyond model
+		{From: -1, EmitLayers: []int{2}, KeepRawAt: -1},   // negative From
+		{From: 0, EmitLayers: []int{6}, KeepRawAt: 3},     // raw not last
 	}
 	for i, spec := range cases {
 		if _, err := s.PartitionFunc(spec); err == nil {

@@ -1,0 +1,311 @@
+package featurestore
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/dataflow"
+	"repro/internal/tensor"
+)
+
+// featRows builds a small feature table whose float content is derived from
+// seed, so distinct seeds give distinct (but similarly sized) payloads.
+func featRows(seed int, n, dim int) []dataflow.Row {
+	rows := make([]dataflow.Row, n)
+	for i := range rows {
+		vec := make([]float32, dim)
+		for j := range vec {
+			vec[j] = float32(seed*1000+i*dim+j) * 0.25
+		}
+		rows[i] = dataflow.Row{
+			ID:       int64(i),
+			Features: tensor.NewTensorList(tensor.MustFromSlice(vec, dim)),
+		}
+	}
+	return rows
+}
+
+func testKey(layer int, kind EntryKind) Key {
+	return Key{Model: "tiny-alexnet", WeightsSum: "w0", DataSum: "d0", LayerIndex: layer, Kind: kind}
+}
+
+func encodedSize(t *testing.T, rows []dataflow.Row) int64 {
+	t.Helper()
+	blob, err := dataflow.EncodeRows(rows)
+	if err != nil {
+		t.Fatalf("EncodeRows: %v", err)
+	}
+	return int64(len(blob))
+}
+
+// diskUsage sums the sizes of all entry files in dir.
+func diskUsage(t *testing.T, dir string) int64 {
+	t.Helper()
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	var total int64
+	for _, de := range des {
+		if !strings.HasSuffix(de.Name(), entrySuffix) {
+			continue
+		}
+		fi, err := de.Info()
+		if err != nil {
+			t.Fatalf("Info: %v", err)
+		}
+		total += fi.Size()
+	}
+	return total
+}
+
+func TestStoreRoundTripByteIdentical(t *testing.T) {
+	s, err := Open(t.TempDir(), 1<<20)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	rows := featRows(1, 16, 8)
+	k := testKey(3, Feature)
+	if err := s.Put(k, rows); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, ok, err := s.Get(k)
+	if err != nil || !ok {
+		t.Fatalf("Get: ok=%v err=%v", ok, err)
+	}
+	want, _ := dataflow.EncodeRows(rows)
+	back, err := dataflow.EncodeRows(got)
+	if err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if !bytes.Equal(want, back) {
+		t.Fatal("cached rows are not byte-identical to the originals")
+	}
+	st := s.Snapshot()
+	if st.Hits != 1 || st.Misses != 0 || st.Puts != 1 || st.Entries != 1 {
+		t.Fatalf("unexpected stats: %+v", st)
+	}
+	if _, ok, _ := s.Get(testKey(4, Feature)); ok {
+		t.Fatal("unexpected hit for absent key")
+	}
+	if s.Snapshot().Misses != 1 {
+		t.Fatalf("miss not counted: %+v", s.Snapshot())
+	}
+}
+
+func TestStoreBudgetNeverExceeded(t *testing.T) {
+	dir := t.TempDir()
+	one := encodedSize(t, featRows(0, 32, 16))
+	budget := one*3 + one/2 // room for ~3 entries
+	s, err := Open(dir, budget)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < 12; i++ {
+		if err := s.Put(testKey(i, Feature), featRows(i, 32, 16)); err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+		st := s.Snapshot()
+		if st.UsedBytes > budget {
+			t.Fatalf("after put %d: used %d exceeds budget %d", i, st.UsedBytes, budget)
+		}
+		if du := diskUsage(t, dir); du > budget {
+			t.Fatalf("after put %d: disk usage %d exceeds budget %d", i, du, budget)
+		}
+	}
+	st := s.Snapshot()
+	if st.Evictions == 0 || st.EvictedBytes == 0 {
+		t.Fatalf("expected evictions under a tight budget: %+v", st)
+	}
+	if st.Entries == 0 {
+		t.Fatal("store should retain the most recent entries")
+	}
+}
+
+func TestStoreLRUKeepsTouchedEntry(t *testing.T) {
+	sizes := make([]int64, 4)
+	for i := range sizes {
+		sizes[i] = encodedSize(t, featRows(i, 32, 16))
+	}
+	budget := sizes[0] + sizes[1] + sizes[2]
+	s, err := Open(t.TempDir(), budget)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.Put(testKey(i, Feature), featRows(i, 32, 16)); err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+	}
+	// Touch entry 0 so entry 1 becomes LRU.
+	if _, ok, _ := s.Get(testKey(0, Feature)); !ok {
+		t.Fatal("entry 0 should be cached")
+	}
+	if err := s.Put(testKey(3, Feature), featRows(3, 32, 16)); err != nil {
+		t.Fatalf("Put 3: %v", err)
+	}
+	if !s.Contains(testKey(0, Feature)) {
+		t.Fatal("recently used entry 0 was evicted")
+	}
+	if s.Contains(testKey(1, Feature)) {
+		t.Fatal("LRU entry 1 survived eviction")
+	}
+	if !s.Contains(testKey(3, Feature)) {
+		t.Fatal("new entry 3 missing")
+	}
+	if used := s.Snapshot().UsedBytes; used > budget {
+		t.Fatalf("used %d exceeds budget %d", used, budget)
+	}
+}
+
+func TestStoreSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 1<<20)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	rows := featRows(7, 8, 4)
+	if err := s.Put(testKey(2, Feature), rows); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := s.Put(testKey(2, RawCarry), featRows(8, 8, 4)); err != nil {
+		t.Fatalf("Put raw: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2, err := Open(dir, 1<<20)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if st := s2.Snapshot(); st.Entries != 2 {
+		t.Fatalf("entries lost across restart: %+v", st)
+	}
+	got, ok, err := s2.Get(testKey(2, Feature))
+	if err != nil || !ok {
+		t.Fatalf("Get after restart: ok=%v err=%v", ok, err)
+	}
+	want, _ := dataflow.EncodeRows(rows)
+	back, _ := dataflow.EncodeRows(got)
+	if !bytes.Equal(want, back) {
+		t.Fatal("restart changed cached bytes")
+	}
+}
+
+func TestStoreCorruptIndexRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 1<<20)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := s.Put(testKey(1, Feature), featRows(1, 8, 4)); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	s.Close()
+	if err := os.WriteFile(filepath.Join(dir, indexName), []byte("not an index"), 0o644); err != nil {
+		t.Fatalf("corrupt index: %v", err)
+	}
+
+	s2, err := Open(dir, 1<<20)
+	if err != nil {
+		t.Fatalf("Open after corruption must recover, got: %v", err)
+	}
+	if st := s2.Snapshot(); st.Entries != 0 || st.UsedBytes != 0 {
+		t.Fatalf("store should start cold after index corruption: %+v", st)
+	}
+	if du := diskUsage(t, dir); du != 0 {
+		t.Fatalf("orphan entry files left behind: %d bytes", du)
+	}
+	// The recovered store must be usable.
+	if err := s2.Put(testKey(1, Feature), featRows(1, 8, 4)); err != nil {
+		t.Fatalf("Put after recovery: %v", err)
+	}
+	if _, ok, _ := s2.Get(testKey(1, Feature)); !ok {
+		t.Fatal("Get after recovery")
+	}
+}
+
+func TestStoreSkipsOversizedEntry(t *testing.T) {
+	rows := featRows(1, 64, 32)
+	budget := encodedSize(t, rows) / 2
+	s, err := Open(t.TempDir(), budget)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := s.Put(testKey(0, Feature), rows); err != nil {
+		t.Fatalf("oversized Put must be a no-op, got: %v", err)
+	}
+	if st := s.Snapshot(); st.Entries != 0 || st.UsedBytes != 0 {
+		t.Fatalf("oversized entry was stored: %+v", st)
+	}
+}
+
+func TestCachedLayersPrefix(t *testing.T) {
+	s, err := Open(t.TempDir(), 1<<20)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for _, li := range []int{4, 5, 7} { // hole at 6
+		if err := s.Put(testKey(li, Feature), featRows(li, 4, 4)); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	if n := s.CachedLayers("tiny-alexnet", "w0", "d0", []int{4, 5, 6, 7}); n != 2 {
+		t.Fatalf("CachedLayers = %d, want 2 (stop at the hole)", n)
+	}
+	if n := s.CachedLayers("tiny-alexnet", "w0", "d0", []int{4, 5, 7}); n != 3 {
+		t.Fatalf("CachedLayers = %d, want 3", n)
+	}
+	if n := s.CachedLayers("tiny-alexnet", "other", "d0", []int{4}); n != 0 {
+		t.Fatalf("CachedLayers with wrong weights = %d, want 0", n)
+	}
+}
+
+func TestDataChecksumSensitivity(t *testing.T) {
+	rows := []dataflow.Row{
+		{ID: 1, Image: []byte{1, 2, 3}},
+		{ID: 2, Image: []byte{4, 5}},
+	}
+	base := DataChecksum(rows)
+	if base != DataChecksum(rows) {
+		t.Fatal("DataChecksum is not deterministic")
+	}
+	mutID := []dataflow.Row{{ID: 9, Image: []byte{1, 2, 3}}, rows[1]}
+	if DataChecksum(mutID) == base {
+		t.Fatal("checksum ignores row IDs")
+	}
+	mutImg := []dataflow.Row{{ID: 1, Image: []byte{1, 2, 9}}, rows[1]}
+	if DataChecksum(mutImg) == base {
+		t.Fatal("checksum ignores image bytes")
+	}
+	// Boundary shifts must not collide: {1,2,3},{4,5} vs {1,2},{3,4,5}.
+	shift := []dataflow.Row{{ID: 1, Image: []byte{1, 2}}, {ID: 2, Image: []byte{3, 4, 5}}}
+	if DataChecksum(shift) == base {
+		t.Fatal("checksum ignores image boundaries")
+	}
+}
+
+func TestIndexCodecRoundTrip(t *testing.T) {
+	entries := []IndexEntry{
+		{Key: testKey(3, Feature), Size: 1234, LastUsed: 5},
+		{Key: testKey(3, RawCarry), Size: 99, LastUsed: 6},
+		{Key: Key{Model: "vgg16", WeightsSum: "w1", DataSum: "d1", LayerIndex: 12, Kind: Feature}, Size: 7, LastUsed: 1},
+	}
+	blob := EncodeIndex(entries)
+	got, err := DecodeIndex(blob)
+	if err != nil {
+		t.Fatalf("DecodeIndex: %v", err)
+	}
+	if len(got) != len(entries) {
+		t.Fatalf("len = %d, want %d", len(got), len(entries))
+	}
+	for i := range got {
+		if got[i] != entries[i] {
+			t.Fatalf("entry %d: %+v != %+v", i, got[i], entries[i])
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package featurestore
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzIndexCodec asserts the index decoder's safety contract: arbitrary
+// bytes either decode cleanly or fail with ErrCorruptIndex — never a panic —
+// and anything that decodes re-encodes to the same canonical bytes.
+func FuzzIndexCodec(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("VFSI"))
+	f.Add([]byte("not an index at all"))
+	valid := EncodeIndex([]IndexEntry{
+		{Key: Key{Model: "tiny-alexnet", WeightsSum: "w", DataSum: "d", LayerIndex: 3, Kind: Feature}, Size: 10, LastUsed: 2},
+		{Key: Key{Model: "vgg16", WeightsSum: "w2", DataSum: "d2", LayerIndex: 11, Kind: RawCarry}, Size: 4096, LastUsed: 9},
+	})
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/3] ^= 0x40
+	f.Add(flipped)
+	f.Add(EncodeIndex(nil))
+
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		entries, err := DecodeIndex(blob)
+		if err != nil {
+			if !errors.Is(err, ErrCorruptIndex) {
+				t.Fatalf("decode error is not ErrCorruptIndex: %v", err)
+			}
+			return
+		}
+		if !bytes.Equal(EncodeIndex(entries), blob) {
+			t.Fatal("valid index did not re-encode to identical bytes")
+		}
+	})
+}

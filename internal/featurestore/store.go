@@ -1,0 +1,323 @@
+package featurestore
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"repro/internal/dataflow"
+)
+
+// Store is a content-addressed, disk-backed materialized store for CNN
+// feature tables (DeepLens-style feature reuse). Entries are whole feature
+// tables — one per (model, weights, data, layer, kind) key — serialized with
+// the dataflow row codec and evicted LRU under a byte budget. The index is
+// persisted so a restarted process (or a second one pointed at the same
+// directory) resumes with the same contents and recency order.
+type Store struct {
+	dir    string
+	budget int64 // bytes; <= 0 means unlimited
+
+	mu      sync.Mutex
+	entries map[string]*storeEntry // content address -> entry
+	lru     *list.List             // front = most recently used
+	used    int64
+	clock   int64 // logical time for LRU persistence
+
+	hits, misses, puts, evictions int64
+	evictedBytes                  int64
+}
+
+type storeEntry struct {
+	key      Key
+	id       string
+	size     int64
+	lastUsed int64
+	elem     *list.Element
+}
+
+const (
+	entrySuffix = ".fse"
+	indexName   = "index.vfs"
+)
+
+// Stats is a point-in-time snapshot of store counters.
+type Stats struct {
+	Entries      int   `json:"entries"`
+	UsedBytes    int64 `json:"used_bytes"`
+	BudgetBytes  int64 `json:"budget_bytes"`
+	Hits         int64 `json:"hits"`
+	Misses       int64 `json:"misses"`
+	Puts         int64 `json:"puts"`
+	Evictions    int64 `json:"evictions"`
+	EvictedBytes int64 `json:"evicted_bytes"`
+}
+
+// Open loads (or creates) a store rooted at dir with the given byte budget
+// (<= 0 for unlimited). A corrupt index is not fatal: the directory is wiped
+// and the store starts cold, since without a trustworthy index the entry
+// files cannot be attributed to keys.
+func Open(dir string, budget int64) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("featurestore: %w", err)
+	}
+	s := &Store{
+		dir:     dir,
+		budget:  budget,
+		entries: make(map[string]*storeEntry),
+		lru:     list.New(),
+		clock:   1,
+	}
+	persisted, err := s.loadIndex()
+	if err != nil {
+		// Corrupt or unreadable index: recover by starting cold.
+		persisted = nil
+		s.wipeEntryFiles()
+		os.Remove(filepath.Join(dir, indexName))
+	}
+	// Oldest first so list insertion at the front yields MRU→LRU order.
+	for i := len(persisted) - 1; i >= 0; i-- {
+		e := persisted[i]
+		id := e.Key.id()
+		if _, dup := s.entries[id]; dup || e.Size < 0 {
+			continue
+		}
+		fi, statErr := os.Stat(s.entryPath(id))
+		if statErr != nil || fi.Size() != e.Size {
+			// Entry file lost or damaged since the index was written.
+			os.Remove(s.entryPath(id))
+			continue
+		}
+		se := &storeEntry{key: e.Key, id: id, size: e.Size, lastUsed: e.LastUsed}
+		se.elem = s.lru.PushBack(se)
+		s.entries[id] = se
+		s.used += e.Size
+		if e.LastUsed >= s.clock {
+			s.clock = e.LastUsed + 1
+		}
+	}
+	s.removeOrphans()
+	s.evictLocked(0)
+	if len(s.entries) != len(persisted) || persisted == nil {
+		s.persistIndexLocked()
+	}
+	return s, nil
+}
+
+// Dir reports the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Get returns the rows cached under k, or ok=false on a miss. A hit refreshes
+// the entry's recency. An entry whose file has become unreadable is dropped
+// and reported as a miss rather than an error, so callers can always fall
+// back to recomputation.
+func (s *Store) Get(k Key) ([]dataflow.Row, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := k.id()
+	e, ok := s.entries[id]
+	if !ok {
+		s.misses++
+		return nil, false, nil
+	}
+	blob, err := os.ReadFile(s.entryPath(id))
+	var rows []dataflow.Row
+	if err == nil {
+		rows, err = dataflow.DecodeRows(blob)
+	}
+	if err != nil {
+		s.dropLocked(e)
+		s.persistIndexLocked()
+		s.misses++
+		return nil, false, nil
+	}
+	s.clock++
+	e.lastUsed = s.clock
+	s.lru.MoveToFront(e.elem)
+	s.hits++
+	return rows, true, nil
+}
+
+// Put materializes rows under k, evicting LRU entries as needed to respect
+// the byte budget. A payload larger than the whole budget is skipped (not an
+// error): caching it would only flush everything else for a single entry.
+func (s *Store) Put(k Key, rows []dataflow.Row) error {
+	blob, err := dataflow.EncodeRows(rows)
+	if err != nil {
+		return fmt.Errorf("featurestore: encode %s: %w", k, err)
+	}
+	size := int64(len(blob))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.budget > 0 && size > s.budget {
+		return nil
+	}
+	id := k.id()
+	if prev, ok := s.entries[id]; ok {
+		s.dropLocked(prev)
+	}
+	s.evictLocked(size)
+	if err := writeFileAtomic(s.entryPath(id), blob); err != nil {
+		return fmt.Errorf("featurestore: write %s: %w", k, err)
+	}
+	s.clock++
+	e := &storeEntry{key: k, id: id, size: size, lastUsed: s.clock}
+	e.elem = s.lru.PushFront(e)
+	s.entries[id] = e
+	s.used += size
+	s.puts++
+	s.persistIndexLocked()
+	return nil
+}
+
+// Contains reports whether k is cached, without touching recency or the
+// hit/miss counters (used for planning probes, not reads).
+func (s *Store) Contains(k Key) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.entries[k.id()]
+	return ok
+}
+
+// CachedLayers reports how many of the given layer indices — taken in order —
+// have Feature entries cached for the (model, weights, data) triple. The
+// count stops at the first miss because the executor consumes layers
+// bottom-up: a hole in the middle forces inference from the image anyway.
+func (s *Store) CachedLayers(model, weightsSum, dataSum string, layers []int) int {
+	n := 0
+	for _, li := range layers {
+		k := Key{Model: model, WeightsSum: weightsSum, DataSum: dataSum, LayerIndex: li, Kind: Feature}
+		if !s.Contains(k) {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// Snapshot returns current counters.
+func (s *Store) Snapshot() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Entries:      len(s.entries),
+		UsedBytes:    s.used,
+		BudgetBytes:  s.budget,
+		Hits:         s.hits,
+		Misses:       s.misses,
+		Puts:         s.puts,
+		Evictions:    s.evictions,
+		EvictedBytes: s.evictedBytes,
+	}
+}
+
+// Close persists the index (entry recency included) to disk.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.persistIndexLocked()
+}
+
+// evictLocked frees space until incoming extra bytes fit under the budget.
+func (s *Store) evictLocked(incoming int64) {
+	if s.budget <= 0 {
+		return
+	}
+	for s.used+incoming > s.budget && s.lru.Len() > 0 {
+		victim := s.lru.Back().Value.(*storeEntry)
+		s.dropLocked(victim)
+		s.evictions++
+		s.evictedBytes += victim.size
+	}
+}
+
+// dropLocked removes an entry from memory and disk.
+func (s *Store) dropLocked(e *storeEntry) {
+	s.lru.Remove(e.elem)
+	delete(s.entries, e.id)
+	s.used -= e.size
+	os.Remove(s.entryPath(e.id))
+}
+
+func (s *Store) entryPath(id string) string {
+	return filepath.Join(s.dir, id+entrySuffix)
+}
+
+func (s *Store) loadIndex() ([]IndexEntry, error) {
+	blob, err := os.ReadFile(filepath.Join(s.dir, indexName))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return DecodeIndex(blob)
+}
+
+func (s *Store) persistIndexLocked() error {
+	entries := make([]IndexEntry, 0, s.lru.Len())
+	for el := s.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*storeEntry)
+		entries = append(entries, IndexEntry{Key: e.key, Size: e.size, LastUsed: e.lastUsed})
+	}
+	return writeFileAtomic(filepath.Join(s.dir, indexName), EncodeIndex(entries))
+}
+
+// wipeEntryFiles deletes every entry file; used when the index is corrupt
+// and the files can no longer be attributed to keys.
+func (s *Store) wipeEntryFiles() {
+	names, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	for _, de := range names {
+		if strings.HasSuffix(de.Name(), entrySuffix) {
+			os.Remove(filepath.Join(s.dir, de.Name()))
+		}
+	}
+}
+
+// removeOrphans deletes entry files the index does not know about (e.g. a
+// crash between an entry write and the index write).
+func (s *Store) removeOrphans() {
+	names, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	for _, de := range names {
+		name := de.Name()
+		if !strings.HasSuffix(name, entrySuffix) {
+			continue
+		}
+		id := strings.TrimSuffix(name, entrySuffix)
+		if _, ok := s.entries[id]; !ok {
+			os.Remove(filepath.Join(s.dir, name))
+		}
+	}
+}
+
+// writeFileAtomic writes via a temp file + rename so readers (and crashes)
+// never observe a partially written file.
+func writeFileAtomic(path string, blob []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(blob)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr != nil {
+			return werr
+		}
+		return cerr
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

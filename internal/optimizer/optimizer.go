@@ -99,6 +99,20 @@ type Inputs struct {
 	MemGPU int64
 	// CPUSys is the core count per worker.
 	CPUSys int
+	// CachedLayers is how many of the selected layers (bottom-up) a
+	// materialized feature store already holds for this exact (model,
+	// weights, data) triple. It shrinks the Equation 16 cost picture: cached
+	// stages run no CNN inference, and once every layer is cached
+	// (CachedLayers >= NumLayers) the workload needs no raw images, no model
+	// replicas in DL Execution Memory, and no broadcast of the serialized
+	// model.
+	CachedLayers int
+}
+
+// FullyCached reports whether every selected layer comes from a feature
+// store, i.e. the run performs zero CNN inference.
+func (in Inputs) FullyCached() bool {
+	return in.NumLayers > 0 && in.CachedLayers >= in.NumLayers
 }
 
 // Decision is the optimizer's output: the Table 1(B) variables.
@@ -168,7 +182,12 @@ func IntermediateSizes(in Inputs, params Params) (sizes []int64, sSingle, sDoubl
 	if imgBytes <= 0 {
 		imgBytes = in.ModelStats.InputBytes / 4
 	}
-	base := StructTableSize(in.NumRows, in.StructDim) + int64(in.NumRows)*imgBytes
+	base := StructTableSize(in.NumRows, in.StructDim)
+	if !in.FullyCached() {
+		// Fully-cached runs never load the raw image payloads, so the base
+		// joined table shrinks to Tstr.
+		base += int64(in.NumRows) * imgBytes
+	}
 	sSingle = base
 
 	sizes = make([]int64, len(layers))
@@ -207,7 +226,10 @@ func StagedPeakBytes(in Inputs) (int64, error) {
 	}
 	rows := int64(in.NumRows)
 	tstr := StructTableSize(in.NumRows, in.StructDim)
-	base := tstr + rows*imgBytes
+	base := tstr
+	if !in.FullyCached() {
+		base += rows * imgBytes
+	}
 	table := func(i int) int64 {
 		l := layers[i]
 		return rows*(rowOverheadBytes+l.RawBytes+4*int64(l.FeatureDim)) + tstr
@@ -339,6 +361,11 @@ func Optimize(in Inputs, params Params) (Decision, error) {
 // simulator's accounting by construction.
 func DLMemoryNeed(in Inputs, cpu int) int64 {
 	need := int64(cpu) * in.ModelStats.MemBytes
+	if in.FullyCached() {
+		// No inference → no CNN replicas; only a DL-resident downstream
+		// model still claims DL Execution Memory.
+		need = 0
+	}
 	if in.Placement == MInDLMemory {
 		need = max64(need, int64(cpu)*in.DownstreamMemBytes)
 	}
@@ -361,16 +388,24 @@ func UserMemoryNeed(in Inputs, cpu, np int, params Params) int64 {
 		return int64(^uint64(0) >> 1) // force infeasible on bad inputs
 	}
 	featPart := ceilDiv(sSingle, int64(np))
-	batch := int64(inferenceBatchImages) * in.ModelStats.InputBytes
-	decode := batch
-	if in.WholePartitionDecode {
-		if whole := ceilDiv(int64(in.NumRows)*in.ModelStats.InputBytes, int64(np)); whole > decode {
-			decode = whole
+	working := featPart
+	serialized := in.ModelStats.SerializedBytes
+	if in.FullyCached() {
+		// Cached features stream straight from the store: no image decoding,
+		// no DL batching, no activations, and no broadcast checkpoint.
+		serialized = 0
+	} else {
+		batch := int64(inferenceBatchImages) * in.ModelStats.InputBytes
+		decode := batch
+		if in.WholePartitionDecode {
+			if whole := ceilDiv(int64(in.NumRows)*in.ModelStats.InputBytes, int64(np)); whole > decode {
+				decode = whole
+			}
 		}
+		// decode buffers + the DL system's own input batch copy + activations.
+		working += decode + batch + in.ModelStats.ActivationWorkingBytes
 	}
-	// decode buffers + the DL system's own input batch copy + activations.
-	working := featPart + decode + batch + in.ModelStats.ActivationWorkingBytes
-	need := in.ModelStats.SerializedBytes + int64(float64(cpu)*params.Alpha*float64(working))
+	need := serialized + int64(float64(cpu)*params.Alpha*float64(working))
 	if in.Placement == MInPDUserMemory {
 		need = max64(need, int64(cpu)*in.DownstreamMemBytes)
 	}

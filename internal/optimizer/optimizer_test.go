@@ -420,3 +420,57 @@ func TestDownstreamMemEstimates(t *testing.T) {
 		t.Errorf("large MLP estimate %s implausibly small", memory.FormatBytes(big))
 	}
 }
+
+func TestFullyCachedShrinksNeeds(t *testing.T) {
+	cold := paperCluster(t, "vgg16", 3, 20000, 10)
+	warm := cold
+	warm.CachedLayers = warm.NumLayers
+	if cold.FullyCached() || !warm.FullyCached() {
+		t.Fatal("FullyCached gate misfires")
+	}
+
+	// No inference → no CNN replicas in DL Execution Memory.
+	if need := DLMemoryNeed(warm, 4); need != 0 {
+		t.Errorf("fully-cached DL need = %d, want 0", need)
+	}
+	if DLMemoryNeed(cold, 4) == 0 {
+		t.Error("cold DL need should charge replicas")
+	}
+	warmDL := warm
+	warmDL.Placement = MInDLMemory
+	if need := DLMemoryNeed(warmDL, 4); need != 4*warmDL.DownstreamMemBytes {
+		t.Errorf("DL-resident downstream must still be charged, got %d", need)
+	}
+
+	// User Memory loses the serialized model, decode buffers, and
+	// activations.
+	params := DefaultParams()
+	np := NumPartitions(memory.GB(10), 4, 8, params.PMax)
+	if wu, cu := UserMemoryNeed(warm, 4, np, params), UserMemoryNeed(cold, 4, np, params); wu >= cu {
+		t.Errorf("fully-cached User need %d not below cold %d", wu, cu)
+	}
+
+	// The base joined table drops the image payloads (Equation 16 inputs
+	// shrink), so both peaks decrease.
+	_, coldSingle, coldDouble, err := IntermediateSizes(cold, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, warmSingle, warmDouble, err := IntermediateSizes(warm, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmSingle > coldSingle || warmDouble >= coldDouble {
+		t.Errorf("cached peaks (%d,%d) not below cold (%d,%d)", warmSingle, warmDouble, coldSingle, coldDouble)
+	}
+
+	// Partial caching alone must not trip the fully-cached gate.
+	partial := cold
+	partial.CachedLayers = 1
+	if partial.FullyCached() {
+		t.Error("partial cache treated as full")
+	}
+	if DLMemoryNeed(partial, 4) != DLMemoryNeed(cold, 4) {
+		t.Error("partial cache changed DL need")
+	}
+}

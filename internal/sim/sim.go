@@ -106,10 +106,10 @@ type model struct {
 	cfg  Config
 	prof Profile
 
-	rows  float64
-	tstr  float64 // |Tstr| bytes
-	timg  float64 // |Timg| bytes
-	base  float64 // cached base (joined for AJ; Tstr+Timg for BJ)
+	rows float64
+	tstr float64 // |Tstr| bytes
+	timg float64 // |Timg| bytes
+	base float64 // cached base (joined for AJ; Tstr+Timg for BJ)
 	// stage/table sizes, indexed by position in Plan.Layers
 	tableBytes  []float64 // what each layer's intermediate table holds
 	pooledBytes []float64 // pooled training projection per layer
@@ -120,6 +120,11 @@ func newModel(w Workload, cfg Config, prof Profile) *model {
 	m := &model{w: w, cfg: cfg, prof: prof, rows: float64(w.Inputs.NumRows)}
 	m.tstr = float64(optimizer.StructTableSize(w.Inputs.NumRows, w.Inputs.StructDim))
 	m.timg = m.rows * float64(w.Inputs.ImageRowBytes)
+	if w.Inputs.FullyCached() {
+		// Every selected layer streams from the feature store: the raw image
+		// payloads are never loaded (mirrors optimizer.IntermediateSizes).
+		m.timg = 0
+	}
 	m.base = m.tstr + m.timg
 	// Ignite always stores a compressed binary format (Section 4.2.3);
 	// Spark compresses only under the serialized persistence choice.
@@ -244,15 +249,24 @@ func (m *model) userNeed() int64 {
 		}
 	}
 	featPart := maxTable / float64(m.cfg.NP)
-	batch := float64(8) * float64(st.InputBytes)
-	decode := batch
-	if m.w.Inputs.WholePartitionDecode || !m.prof.Kind.SupportsSpill() {
-		if whole := m.rows * float64(st.InputBytes) / float64(m.cfg.NP); whole > decode {
-			decode = whole
+	working := featPart
+	serialized := float64(st.SerializedBytes)
+	if m.w.Inputs.FullyCached() {
+		// Mirrors optimizer.UserMemoryNeed: a fully-warm run decodes no
+		// images, batches nothing into the DL system, and broadcasts no
+		// checkpoint.
+		serialized = 0
+	} else {
+		batch := float64(8) * float64(st.InputBytes)
+		decode := batch
+		if m.w.Inputs.WholePartitionDecode || !m.prof.Kind.SupportsSpill() {
+			if whole := m.rows * float64(st.InputBytes) / float64(m.cfg.NP); whole > decode {
+				decode = whole
+			}
 		}
+		working += decode + batch + float64(st.ActivationWorkingBytes)
 	}
-	working := featPart + decode + batch + float64(st.ActivationWorkingBytes)
-	need := float64(st.SerializedBytes) + float64(m.cfg.CPU)*params.Alpha*working
+	need := serialized + float64(m.cfg.CPU)*params.Alpha*working
 	if m.w.Inputs.Placement == optimizer.MInPDUserMemory {
 		if alt := float64(m.cfg.CPU) * float64(m.w.Inputs.DownstreamMemBytes); alt > need {
 			need = alt
@@ -275,10 +289,22 @@ func Run(w Workload, cfg Config, prof Profile) Result {
 	st := w.Inputs.ModelStats
 	res := Result{}
 
+	// A step is served from the feature store when every computed layer it
+	// emits falls inside the cached bottom-up prefix (Inputs.CachedLayers):
+	// no CNN FLOPs, no image read — just loading the materialized table.
+	stepCached := make([]bool, len(w.Plan.Steps))
+	{
+		idx := 0
+		for i, s := range w.Plan.Steps {
+			stepCached[i] = idx+len(s.Emits) <= w.Inputs.CachedLayers
+			idx += len(s.Emits)
+		}
+	}
+
 	// ——— Read ———
-	readsImages := w.Plan.PreMaterializedBase < 0
-	for _, s := range w.Plan.Steps {
-		if s.FromImage {
+	readsImages := w.Plan.PreMaterializedBase < 0 && len(w.Plan.Steps) > 0 && !stepCached[0]
+	for i, s := range w.Plan.Steps {
+		if s.FromImage && !stepCached[i] {
 			readsImages = true
 		}
 	}
@@ -319,15 +345,25 @@ func Run(w Workload, cfg Config, prof Profile) Result {
 	storageCap := float64(cfg.Apportion.Storage) * nodes
 
 	layerIdx := 0
-	for _, step := range w.Plan.Steps {
-		inferSec := m.rows*float64(step.FLOPsPerImage)/(nodeGFLOPS*1e9*nodes) + taskSec(1) + 3
-		if !step.FromImage {
-			// Passes reading the pre-materialized base re-scan it from the
-			// cache/disk each time (Appendix B's I/O cost); a staged
-			// chain's carry was just written and is hot, so it costs
-			// nothing extra beyond its materialization.
-			if src := m.inputTableIndex(step); src >= 0 && src == w.Plan.PreMaterializedBase {
-				inferSec += m.stored(m.tableBytes[src]) / (nodes * scanRate * mb)
+	for stepIdx, step := range w.Plan.Steps {
+		var inferSec float64
+		if stepCached[stepIdx] {
+			// Cache attach: load the stage's materialized table from the
+			// store instead of running partial inference — disk I/O plus the
+			// task overhead of the attach pass, zero CNN FLOPs and no DL
+			// stage startup.
+			li := layerOffset(w.Plan, layerIdx+len(step.Emits)-1)
+			inferSec = m.stored(m.tableBytes[li])/(nodes*prof.DiskMBps*mb) + taskSec(1)
+		} else {
+			inferSec = m.rows*float64(step.FLOPsPerImage)/(nodeGFLOPS*1e9*nodes) + taskSec(1) + 3
+			if !step.FromImage {
+				// Passes reading the pre-materialized base re-scan it from the
+				// cache/disk each time (Appendix B's I/O cost); a staged
+				// chain's carry was just written and is hot, so it costs
+				// nothing extra beyond its materialization.
+				if src := m.inputTableIndex(step); src >= 0 && src == w.Plan.PreMaterializedBase {
+					inferSec += m.stored(m.tableBytes[src]) / (nodes * scanRate * mb)
+				}
 			}
 		}
 		for range step.Emits {

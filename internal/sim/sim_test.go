@@ -390,10 +390,10 @@ func TestScaleupAndSpeedupShapes(t *testing.T) {
 // iteration), within 2x.
 func TestTable3Ballpark(t *testing.T) {
 	tests := []struct {
-		model           string
-		nodes           int
-		wantTotalMin    float64 // Table 3 "total" row
-		wantReadMin     float64 // Table 3 "Read images" row
+		model        string
+		nodes        int
+		wantTotalMin float64 // Table 3 "total" row
+		wantReadMin  float64 // Table 3 "Read images" row
 	}{
 		{"resnet50", 1, 29.9, 3.7},
 		{"resnet50", 8, 3.6, 0.7},
@@ -578,5 +578,44 @@ func TestParallelEfficiencyShape(t *testing.T) {
 	}
 	if !(parallelEfficiency(4) > parallelEfficiency(2)) {
 		t.Error("eff not monotone")
+	}
+}
+
+// TestSimCachedLayersCutInference checks the simulator's feature-store
+// model: cached stages drop their CNN compute (a warm run is strictly
+// faster), and a fully-warm run skips the image read entirely.
+func TestSimCachedLayersCutInference(t *testing.T) {
+	prof := PaperCluster()
+	w := mustWorkload(t, WorkloadSpec{ModelName: "alexnet", NumLayers: layersFor("alexnet"),
+		Dataset: FoodsSpec(), PlanKind: plan.Staged, Placement: plan.AfterJoin, Nodes: prof.Nodes})
+	cfg, err := VistaConfig(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := Run(w, cfg, prof)
+	if cold.Crash != nil {
+		t.Fatalf("cold run crashed: %v", cold.Crash)
+	}
+
+	prev := cold.TotalSec()
+	for cachedL := 1; cachedL <= w.Inputs.NumLayers; cachedL++ {
+		warm := w
+		warm.Inputs.CachedLayers = cachedL
+		r := Run(warm, cfg, prof)
+		if r.Crash != nil {
+			t.Fatalf("cached=%d crashed: %v", cachedL, r.Crash)
+		}
+		if tot := r.TotalSec(); tot >= prev {
+			t.Errorf("cached=%d total %.1fs not below %.1fs", cachedL, tot, prev)
+		} else {
+			prev = tot
+		}
+		if cachedL < w.Inputs.NumLayers {
+			continue
+		}
+		// Fully warm: no image ingestion, only Tstr is read.
+		if r.ReadSec >= cold.ReadSec {
+			t.Errorf("fully-warm ReadSec %.2f not below cold %.2f", r.ReadSec, cold.ReadSec)
+		}
 	}
 }
