@@ -12,6 +12,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/featurestore"
 	"repro/internal/memory"
+	"repro/internal/obs"
 	"repro/internal/optimizer"
 	"repro/internal/plan"
 	"repro/internal/sim"
@@ -98,9 +99,11 @@ func toDecisionJSON(d optimizer.Decision) decisionJSON {
 
 // api is the service's process-wide state: the shared feature store (so
 // repeated /run and /simulate requests on the same dataset+CNN reuse
-// features across HTTP calls) and the content addresses of past runs.
+// features across HTTP calls), the metrics registry behind GET /metrics,
+// and the content addresses of past runs.
 type api struct {
-	store *featurestore.Store // nil = caching disabled
+	store   *featurestore.Store // nil = caching disabled
+	metrics *obs.Registry
 
 	mu sync.Mutex
 	// runKeys remembers each served workload's feature-store content
@@ -120,19 +123,28 @@ func workloadKey(req *workloadRequest) string {
 }
 
 // newHandler builds the service mux around a shared feature store (nil
-// disables cross-run caching).
+// disables cross-run caching). Every route is instrumented with latency and
+// status-code series, served alongside engine/store series on GET /metrics.
 func newHandler(store *featurestore.Store) http.Handler {
-	a := &api{store: store, runKeys: make(map[string]runKey)}
+	a := &api{store: store, metrics: obs.NewRegistry(), runKeys: make(map[string]runKey)}
+	if store != nil {
+		store.RegisterMetrics(a.metrics)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	mux.HandleFunc("GET /metrics", a.handleMetrics)
 	mux.HandleFunc("GET /roster", handleRoster)
 	mux.HandleFunc("GET /featurestore", a.handleFeatureStore)
 	mux.HandleFunc("POST /explain", handleExplain)
 	mux.HandleFunc("POST /simulate", a.handleSimulate)
 	mux.HandleFunc("POST /run", a.handleRun)
-	return mux
+	known := map[string]bool{
+		"/healthz": true, "/metrics": true, "/roster": true,
+		"/featurestore": true, "/explain": true, "/simulate": true, "/run": true,
+	}
+	return instrument(a.metrics, known, mux)
 }
 
 // handleFeatureStore reports the store's counters.
@@ -378,6 +390,7 @@ func (a *api) handleRun(w http.ResponseWriter, r *http.Request) {
 		StructRows: structRows, ImageRows: imageRows,
 		Seed:         req.Seed,
 		FeatureStore: a.store,
+		Metrics:      a.metrics,
 	})
 	if err != nil {
 		if oom, ok := memory.IsOOM(err); ok {

@@ -2,6 +2,8 @@
 // service:
 //
 //	GET  /healthz              liveness probe
+//	GET  /metrics              Prometheus text exposition (engine, pools,
+//	                           feature store, per-endpoint HTTP series)
 //	GET  /roster               the CNN roster with derived statistics
 //	GET  /featurestore         feature-store counters (hits, misses, bytes)
 //	POST /explain              optimizer decision + size analysis (no execution)

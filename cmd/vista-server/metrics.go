@@ -1,0 +1,64 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// statusWriter captures the status code a handler writes, for the per-request
+// series.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// instrument wraps the mux with per-request latency and status accounting.
+// The path label is the request's registered route (one series per endpoint,
+// not per URL), so an unknown path collapses into a single "other" series
+// rather than letting arbitrary clients mint label values.
+func instrument(reg *obs.Registry, known map[string]bool, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		path := r.URL.Path
+		if !known[path] {
+			path = "other"
+		}
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		reg.Histogram("vista_http_request_seconds",
+			"Request latency by endpoint.", obs.DefBuckets,
+			obs.Label{Key: "path", Value: path},
+		).Observe(time.Since(start).Seconds())
+		reg.Counter("vista_http_requests_total",
+			"Requests served, by endpoint and status code.",
+			obs.Label{Key: "path", Value: path},
+			obs.Label{Key: "code", Value: fmt.Sprintf("%d", sw.status)},
+		).Inc()
+	})
+}
+
+// handleMetrics serves the registry in Prometheus text exposition format.
+func (a *api) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = a.metrics.WritePrometheus(w)
+}

@@ -23,6 +23,7 @@ import (
 	"repro/internal/memory"
 	"repro/internal/ml"
 	"repro/internal/plan"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -43,6 +44,7 @@ func main() {
 		saveModels = flag.String("save-models", "", "write per-layer trained model artifacts (JSON) to this directory")
 		cacheDir   = flag.String("feature-cache", "", "materialize CNN features in this directory and reuse them across invocations")
 		cacheMB    = flag.Int64("feature-cache-mb", 512, "feature cache byte budget in MiB (with -feature-cache)")
+		trace      = flag.Bool("trace", false, "print the run's stage span tree and the simulator's estimate-vs-measured comparison")
 	)
 	flag.Parse()
 
@@ -51,7 +53,7 @@ func main() {
 		nodes: *nodes, cores: *cores, memGB: *memGB,
 		planKind: *planKind, placement: *placement, downstream: *downstream,
 		seed: *seed, dataDir: *dataDir, saveData: *saveData, saveModels: *saveModels,
-		cacheDir: *cacheDir, cacheMB: *cacheMB,
+		cacheDir: *cacheDir, cacheMB: *cacheMB, trace: *trace,
 	}
 	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "vista:", err)
@@ -77,6 +79,7 @@ type runOptions struct {
 	saveModels string
 	cacheDir   string
 	cacheMB    int64
+	trace      bool
 }
 
 func run(o runOptions) error {
@@ -169,6 +172,11 @@ func run(o runOptions) error {
 			res.Cache.EntriesLoaded, res.Cache.EntriesStored,
 			memory.FormatBytes(st.UsedBytes), st.Entries, st.Hits, st.Misses, st.Evictions)
 	}
+	if o.trace {
+		fmt.Printf("\nStage trace:\n")
+		res.Trace.Render(os.Stdout)
+		printSimComparison(o, runSpec, res)
+	}
 
 	if o.saveModels != "" {
 		if err := os.MkdirAll(o.saveModels, 0o755); err != nil {
@@ -183,6 +191,59 @@ func run(o runOptions) error {
 		fmt.Printf("Saved %d model artifacts to %s\n", len(res.Layers), o.saveModels)
 	}
 	return nil
+}
+
+// printSimComparison lines the run's measured span tree up against the
+// simulator's analytical estimate for the same workload shape. The simulator
+// prices the paper's cluster hardware, so absolute times differ by orders of
+// magnitude; the per-stage *shares* are the comparable signal. Skipped with a
+// note when the optimizer finds the simulated workload infeasible (tiny
+// in-process runs can describe workloads the paper cluster model rejects).
+func printSimComparison(o runOptions, runSpec core.Spec, res *core.Result) {
+	var imgBytes, n int64
+	for i := range runSpec.ImageRows {
+		imgBytes += runSpec.ImageRows[i].MemBytes()
+		n++
+		if n == 100 {
+			break
+		}
+	}
+	if n > 0 {
+		imgBytes /= n
+	}
+	wl, err := sim.NewWorkload(sim.WorkloadSpec{
+		ModelName: o.model,
+		NumLayers: o.layers,
+		Dataset: sim.DatasetSpec{
+			Name:          o.dataset,
+			Rows:          len(runSpec.StructRows),
+			StructDim:     len(runSpec.StructRows[0].Structured),
+			ImageRowBytes: imgBytes,
+		},
+		PlanKind:  runSpec.PlanKind,
+		Placement: runSpec.Placement,
+		Nodes:     o.nodes,
+		CPUSys:    o.cores,
+		MemSys:    memory.GB(o.memGB),
+	})
+	if err != nil {
+		fmt.Printf("\nSimulator comparison skipped: %v\n", err)
+		return
+	}
+	cfg, err := sim.VistaConfig(wl)
+	if err != nil {
+		fmt.Printf("\nSimulator comparison skipped: %v\n", err)
+		return
+	}
+	prof := sim.PaperCluster().WithNodes(o.nodes)
+	prof.MemPerNode = memory.GB(o.memGB)
+	simRes := sim.Run(wl, cfg, prof)
+	if simRes.Crash != nil {
+		fmt.Printf("\nSimulator comparison skipped: simulated run crashes (%v)\n", simRes.Crash)
+		return
+	}
+	fmt.Printf("\nEstimate vs measured (simulator prices the paper cluster; compare shares, not absolutes):\n")
+	sim.RenderComparison(os.Stdout, sim.CompareTrace(simRes, res.Trace))
 }
 
 // loadOrGenerate obtains the dataset from disk or the synthetic generator,

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"time"
 
 	"repro/internal/cnn"
 	"repro/internal/dataflow"
@@ -138,7 +137,8 @@ func (rc *runCache) cachedEmits(p *plan.Plan) int {
 // the stored feature vectors (and raw carry) for its ID, in the same
 // TensorList layout the live UDF would produce — and no CNN FLOPs.
 func (ex *executor) attachStep(name string, in *dataflow.Table, step plan.Step, sc *stepCache) (*dataflow.Table, error) {
-	defer ex.record("cache:"+step.Emits[0].LayerName, time.Now())
+	sp := ex.stage("cache:" + step.Emits[0].LayerName)
+	defer sp.End()
 	return ex.engine.MapPartitions(name, in, func(_ *dataflow.TaskContext, rows []dataflow.Row) ([]dataflow.Row, error) {
 		out := make([]dataflow.Row, len(rows))
 		for i := range rows {

@@ -8,6 +8,7 @@ import (
 	"repro/internal/dataflow"
 	"repro/internal/dl"
 	"repro/internal/ml"
+	"repro/internal/obs"
 	"repro/internal/optimizer"
 	"repro/internal/plan"
 	"repro/internal/tensor"
@@ -95,6 +96,13 @@ func Run(spec Spec) (*Result, error) {
 		defer session.Close()
 	}
 
+	if spec.Metrics != nil {
+		engine.RegisterMetrics(spec.Metrics)
+		if spec.FeatureStore != nil {
+			spec.FeatureStore.RegisterMetrics(spec.Metrics)
+		}
+	}
+
 	ex := &executor{
 		spec:     spec,
 		engine:   engine,
@@ -102,8 +110,10 @@ func Run(spec Spec) (*Result, error) {
 		decision: decision,
 		plan:     compiled,
 		cache:    cache,
+		trace:    obs.StartSpan("run"),
 	}
 	layers, err := ex.run()
+	ex.trace.End()
 	if err != nil {
 		return nil, err
 	}
@@ -124,9 +134,21 @@ func Run(spec Spec) (*Result, error) {
 		Layers:   layers,
 		Counters: engine.Counters().Snapshot(),
 		Elapsed:  time.Since(start),
-		Timings:  ex.timings,
+		Trace:    ex.trace,
+		Timings:  timingsFromTrace(ex.trace),
 		Cache:    report,
 	}, nil
+}
+
+// timingsFromTrace flattens the root span's children into the legacy
+// per-stage breakdown.
+func timingsFromTrace(root *obs.Span) []StageTiming {
+	children := root.Children()
+	out := make([]StageTiming, len(children))
+	for i, sp := range children {
+		out[i] = StageTiming{Label: sp.Name(), Elapsed: sp.Duration()}
+	}
+	return out
 }
 
 // decide runs the optimizer unless the spec pins a decision. cachedLayers is
@@ -169,20 +191,30 @@ type executor struct {
 	decision optimizer.Decision
 	plan     *plan.Plan
 	cache    *runCache // nil when no feature store is configured
-	timings  []StageTiming
+	trace    *obs.Span // the run's root span; one child per stage
 
 	// fromCache/executed/stored feed the run's CacheReport.
 	fromCache, executed, stored int
 }
 
-// record appends a stage timing measured from start.
-func (ex *executor) record(label string, start time.Time) {
-	ex.timings = append(ex.timings, StageTiming{Label: label, Elapsed: time.Since(start)})
+// stage opens one top-level stage span; the caller must End it.
+func (ex *executor) stage(label string) *obs.Span {
+	return ex.trace.StartChild(label)
+}
+
+// counterDelta returns a closure capturing counter c now; calling it returns
+// how much c has grown since — for attributing FLOPs/bytes to one stage.
+// (Parallel stages would blur the attribution, but the executor runs stages
+// sequentially; only tasks within a stage are parallel.)
+func counterDelta(load func() int64) func() int64 {
+	before := load()
+	return func() int64 { return load() - before }
 }
 
 func (ex *executor) run() ([]LayerResult, error) {
 	e := ex.engine
-	ingestStart := time.Now()
+	ingest := ex.stage("ingest")
+	readBytes := counterDelta(e.Counters().BytesRead.Load)
 	tstr, err := e.CreateTable("tstr", ex.spec.StructRows, ex.decision.NP)
 	if err != nil {
 		return nil, err
@@ -191,7 +223,9 @@ func (ex *executor) run() ([]LayerResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	ex.record("ingest", ingestStart)
+	ingest.SetAttr("rows", int64(len(ex.spec.StructRows)+len(ex.spec.ImageRows)))
+	ingest.SetAttr("bytes", readBytes())
+	ingest.End()
 	if ex.plan.Placement == plan.AfterJoin {
 		return ex.runAfterJoin(tstr, timg)
 	}
@@ -201,12 +235,16 @@ func (ex *executor) run() ([]LayerResult, error) {
 // runAfterJoin joins Tstr ⋈ Timg first, then runs inference passes over the
 // joined table (the paper's AJ placement; Staged/AJ is Vista's default).
 func (ex *executor) runAfterJoin(tstr, timg *dataflow.Table) ([]LayerResult, error) {
-	joinStart := time.Now()
+	join := ex.stage("join")
+	joinRows := counterDelta(ex.engine.Counters().RowsProcessed.Load)
+	shuffled := counterDelta(ex.engine.Counters().BytesShuffled.Load)
 	base, err := ex.engine.Join("joined", tstr, timg, ex.decision.Join)
 	if err != nil {
 		return nil, err
 	}
-	ex.record("join", joinStart)
+	join.SetAttr("rows", joinRows())
+	join.SetAttr("shuffle_bytes", shuffled())
+	join.End()
 	tstr.Drop()
 	timg.Drop()
 
@@ -347,7 +385,12 @@ func (ex *executor) runStep(name string, in *dataflow.Table, step plan.Step, raw
 	if ex.session == nil {
 		return nil, fmt.Errorf("core: internal: inference step %s scheduled without a DL session", name)
 	}
-	defer ex.record("infer:"+step.Emits[0].LayerName, time.Now())
+	sp := ex.stage("infer:" + step.Emits[0].LayerName)
+	flops := counterDelta(ex.engine.Counters().FLOPs.Load)
+	defer func() {
+		sp.SetAttr("flops", flops())
+		sp.End()
+	}()
 	spec := dl.InferenceSpec{
 		From:       step.From,
 		FromImage:  step.FromImage,
@@ -382,12 +425,14 @@ func (ex *executor) preMaterialize(base *dataflow.Table, results *[]LayerResult)
 	if err != nil {
 		return nil, 0, err
 	}
-	prematStart := time.Now()
+	sp := ex.stage("premat:" + bl.Name)
+	flops := counterDelta(ex.engine.Counters().FLOPs.Load)
 	out, err := ex.engine.MapPartitions("premat", base, udf)
 	if err != nil {
 		return nil, 0, err
 	}
-	ex.record("premat:"+bl.Name, prematStart)
+	sp.SetAttr("flops", flops())
+	sp.End()
 	base.Drop()
 	res, err := ex.train(out, 0, plan.Emit{LayerName: bl.Name, LayerIndex: bl.LayerIndex, FeatureDim: bl.FeatureDim})
 	if err != nil {
@@ -410,12 +455,14 @@ func (ex *executor) preMaterializeBJ(tstr, timg *dataflow.Table, results *[]Laye
 	if err != nil {
 		return nil, 0, err
 	}
-	prematStart := time.Now()
+	sp := ex.stage("premat:" + bl.Name)
+	flops := counterDelta(ex.engine.Counters().FLOPs.Load)
 	out, err := ex.engine.MapPartitions("premat", timg, udf)
 	if err != nil {
 		return nil, 0, err
 	}
-	ex.record("premat:"+bl.Name, prematStart)
+	sp.SetAttr("flops", flops())
+	sp.End()
 	em := plan.Emit{LayerName: bl.Name, LayerIndex: bl.LayerIndex, FeatureDim: bl.FeatureDim}
 	proj, err := ex.projectFeature(out, 0, bl.Name)
 	if err != nil {
@@ -459,7 +506,12 @@ func (ex *executor) projectFeature(t *dataflow.Table, idx int, layer string) (*d
 
 // train fits the downstream model on [X, feature(idx)] and evaluates it.
 func (ex *executor) train(t *dataflow.Table, featIdx int, em plan.Emit) (LayerResult, error) {
-	defer ex.record("train:"+em.LayerName, time.Now())
+	sp := ex.stage("train:" + em.LayerName)
+	trainRowsRead := counterDelta(ex.engine.Counters().RowsProcessed.Load)
+	defer func() {
+		sp.SetAttr("rows", trainRowsRead())
+		sp.End()
+	}()
 	e := ex.engine
 	ds := ex.spec.Downstream
 	structDim := len(ex.spec.StructRows[0].Structured)

@@ -18,6 +18,7 @@ import (
 	"repro/internal/featurestore"
 	"repro/internal/memory"
 	"repro/internal/ml"
+	"repro/internal/obs"
 	"repro/internal/optimizer"
 	"repro/internal/plan"
 )
@@ -108,6 +109,13 @@ type Spec struct {
 	// address (model, weight checksum, image-content checksum, layer).
 	FeatureStore *featurestore.Store
 
+	// Metrics, when non-nil, receives the run's live instrumentation: the
+	// engine registers its counters and per-node pool gauges (and the
+	// feature store its hit/miss/byte series) into this registry, so an HTTP
+	// scrape observes the run in flight. A long-lived registry may be reused
+	// across runs; each run's engine takes over the engine series.
+	Metrics *obs.Registry
+
 	// — Experiment overrides (default zero values = Vista's choices) —
 	// PlanKind/Placement force a logical plan; Vista's default is
 	// Staged/AJ (Section 4.2.1: "it suffices for Vista to only use our new
@@ -167,7 +175,8 @@ type LayerResult struct {
 }
 
 // StageTiming is one timed phase of a run — the real-engine analogue of the
-// paper's Table 3 breakdown.
+// paper's Table 3 breakdown. It is derived from the run's span tree
+// (Result.Trace): one entry per top-level stage span, in execution order.
 type StageTiming struct {
 	// Label identifies the phase: "ingest", "join", "infer:<layer>",
 	// "train:<layer>", "premat:<layer>", or "cache:<layer>" (a stage served
@@ -202,7 +211,13 @@ type Result struct {
 	Layers   []LayerResult
 	Counters dataflow.Snapshot
 	Elapsed  time.Duration
-	// Timings is the per-phase breakdown, in execution order.
+	// Trace is the run's span tree: a root "run" span with one child per
+	// stage, each carrying row/byte/FLOP attributes. Render it for the
+	// -trace report, or feed it to sim.CompareTrace to line measured stage
+	// times up against the simulator's estimates.
+	Trace *obs.Span
+	// Timings is the per-phase breakdown, in execution order (derived from
+	// Trace's top-level children).
 	Timings []StageTiming
 	// Cache reports feature-store usage (zero value when no store).
 	Cache CacheReport

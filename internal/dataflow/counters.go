@@ -22,6 +22,11 @@ type Counters struct {
 	BytesSpilled atomic.Int64
 	// BytesUnspilled counts bytes read back from spill files.
 	BytesUnspilled atomic.Int64
+	// Spills counts partition evictions to disk (the event count behind
+	// BytesSpilled; scrape-side rate() needs both).
+	Spills atomic.Int64
+	// Unspills counts partitions read back from disk.
+	Unspills atomic.Int64
 	// BytesRead counts input bytes ingested into base tables.
 	BytesRead atomic.Int64
 	// FLOPs counts floating-point work reported by UDFs (CNN inference and
@@ -40,6 +45,8 @@ type Snapshot struct {
 	BytesBroadcast   int64
 	BytesSpilled     int64
 	BytesUnspilled   int64
+	Spills           int64
+	Unspills         int64
 	BytesRead        int64
 	FLOPs            int64
 	PeakStorageBytes int64
@@ -54,6 +61,8 @@ func (c *Counters) Snapshot() Snapshot {
 		BytesBroadcast:   c.BytesBroadcast.Load(),
 		BytesSpilled:     c.BytesSpilled.Load(),
 		BytesUnspilled:   c.BytesUnspilled.Load(),
+		Spills:           c.Spills.Load(),
+		Unspills:         c.Unspills.Load(),
 		BytesRead:        c.BytesRead.Load(),
 		FLOPs:            c.FLOPs.Load(),
 		PeakStorageBytes: c.PeakStorageBytes.Load(),

@@ -142,6 +142,24 @@ type TaskContext struct {
 	Engine *Engine
 	NodeID int
 	Part   int
+	// done is closed when another task in the same operation fails.
+	done <-chan struct{}
+}
+
+// Done returns a channel closed when the operation this task belongs to has
+// failed; long-running UDFs may watch it to abort cooperatively. Nil when the
+// context was built outside runTasks (then it blocks forever, i.e. never
+// cancelled).
+func (tc *TaskContext) Done() <-chan struct{} { return tc.done }
+
+// Cancelled reports whether another task in the same operation has failed.
+func (tc *TaskContext) Cancelled() bool {
+	select {
+	case <-tc.done:
+		return true
+	default:
+		return false
+	}
 }
 
 // AllocUser charges n bytes of User Memory for the task's duration; the
@@ -158,7 +176,10 @@ func (tc *TaskContext) AddFLOPs(n int64) { tc.Engine.counters.FLOPs.Add(n) }
 
 // runTasks executes fn once per task, scheduling task i on node i%Nodes and
 // bounding concurrency by each node's core slots. The first error cancels
-// remaining tasks (already-started ones finish).
+// remaining tasks: undispatched tasks are abandoned — the scheduler checks
+// for failure *before* blocking on a slot and aborts a blocked acquire, so a
+// long straggler can never delay cancellation — and already-started tasks
+// finish (they may watch TaskContext.Done to abort cooperatively).
 func (e *Engine) runTasks(tasks int, fn func(tc *TaskContext) error) error {
 	if tasks == 0 {
 		return nil
@@ -167,14 +188,36 @@ func (e *Engine) runTasks(tasks int, fn func(tc *TaskContext) error) error {
 		wg       sync.WaitGroup
 		mu       sync.Mutex
 		firstErr error
+		done     = make(chan struct{})
 	)
-	for i := 0; i < tasks; i++ {
-		n := e.nodeFor(i)
-		<-n.slots // acquire a core slot before spawning
+	fail := func(err error) {
 		mu.Lock()
-		stop := firstErr != nil
+		if firstErr == nil {
+			firstErr = err
+			close(done)
+		}
 		mu.Unlock()
-		if stop {
+	}
+	cancelled := func() bool {
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	}
+schedule:
+	for i := 0; i < tasks; i++ {
+		if cancelled() {
+			break
+		}
+		n := e.nodeFor(i)
+		select {
+		case <-n.slots: // acquire a core slot before spawning
+		case <-done: // a task failed while every slot was busy
+			break schedule
+		}
+		if cancelled() {
 			n.slots <- struct{}{}
 			break
 		}
@@ -183,13 +226,9 @@ func (e *Engine) runTasks(tasks int, fn func(tc *TaskContext) error) error {
 			defer wg.Done()
 			defer func() { n.slots <- struct{}{} }()
 			e.counters.TasksRun.Add(1)
-			tc := &TaskContext{Engine: e, NodeID: n.id, Part: taskIdx}
+			tc := &TaskContext{Engine: e, NodeID: n.id, Part: taskIdx, done: done}
 			if err := fn(tc); err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = err
-				}
-				mu.Unlock()
+				fail(err)
 			}
 		}(i, n)
 	}

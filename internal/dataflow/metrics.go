@@ -1,0 +1,57 @@
+package dataflow
+
+import (
+	"strconv"
+	"sync/atomic"
+
+	"repro/internal/memory"
+	"repro/internal/obs"
+)
+
+// RegisterMetrics exports the engine's counters and every node's memory-pool
+// usage into reg. Counter series are func-backed reads of the engine's
+// atomics (zero per-update cost) and pool gauges read the pools at scrape
+// time, so a /metrics scrape observes a run in flight. Engines are per-run;
+// re-registering a fresh engine replaces the previous run's series (the
+// registry's func-replace contract), so a long-lived registry always shows
+// the most recent engine.
+func (e *Engine) RegisterMetrics(reg *obs.Registry) {
+	c := &e.counters
+	counter := func(name, help string, v *atomic.Int64) {
+		reg.CounterFunc("vista_engine_"+name, help, func() float64 { return float64(v.Load()) })
+	}
+	counter("tasks_total", "Tasks executed by the dataflow engine.", &c.TasksRun)
+	counter("rows_processed_total", "Rows that flowed through operators.", &c.RowsProcessed)
+	counter("bytes_shuffled_total", "Bytes moved between nodes by shuffle joins and repartitioning.", &c.BytesShuffled)
+	counter("bytes_broadcast_total", "Bytes replicated to every node by broadcast joins.", &c.BytesBroadcast)
+	counter("bytes_spilled_total", "Bytes written to spill files under storage pressure.", &c.BytesSpilled)
+	counter("bytes_unspilled_total", "Bytes read back from spill files.", &c.BytesUnspilled)
+	counter("spills_total", "Partition evictions to disk.", &c.Spills)
+	counter("unspills_total", "Partitions read back from disk.", &c.Unspills)
+	counter("bytes_read_total", "Input bytes ingested into base tables.", &c.BytesRead)
+	counter("flops_total", "Floating-point work reported by UDFs.", &c.FLOPs)
+	reg.GaugeFunc("vista_engine_peak_storage_bytes",
+		"High-water mark of cached partition bytes across all nodes.",
+		func() float64 { return float64(c.PeakStorageBytes.Load()) })
+
+	pool := func(node string, name string, p *memory.Pool) {
+		labels := []obs.Label{{Key: "node", Value: node}, {Key: "pool", Value: name}}
+		reg.GaugeFunc("vista_pool_used_bytes",
+			"Bytes currently charged against the memory pool.",
+			func() float64 { return float64(p.Used()) }, labels...)
+		reg.GaugeFunc("vista_pool_capacity_bytes",
+			"The memory pool's capacity.",
+			func() float64 { return float64(p.Capacity()) }, labels...)
+		reg.GaugeFunc("vista_pool_peak_bytes",
+			"High-water mark of bytes charged against the memory pool.",
+			func() float64 { return float64(p.Peak()) }, labels...)
+	}
+	for _, n := range e.nodes {
+		id := strconv.Itoa(n.id)
+		pool(id, "storage", n.storage.pool)
+		pool(id, "user", n.user)
+		pool(id, "core", n.core)
+		pool(id, "dl", n.dl)
+	}
+	pool("driver", "driver", e.driver)
+}

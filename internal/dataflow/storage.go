@@ -78,13 +78,17 @@ func (sc *storageCache) evictLRULocked() int64 {
 	charged := p.MemBytes()
 	written, err := p.spill(sc.engine.spillDir)
 	if err != nil {
-		// Disk trouble: drop the partition from cache anyway; callers will
-		// see the read error if they touch it.
+		// Disk trouble: drop the partition from cache anyway (its rows stay
+		// readable in memory) and release its charge — the cache no longer
+		// tracks it, so keeping the charge would leak Storage-pool bytes
+		// forever and fabricate StorageExhausted crashes on healthy runs.
 		sc.lru.Remove(back)
 		delete(sc.index, p.id)
-		return 0
+		sc.pool.Free(charged)
+		return charged
 	}
 	sc.engine.counters.BytesSpilled.Add(written)
+	sc.engine.counters.Spills.Add(1)
 	sc.lru.Remove(back)
 	delete(sc.index, p.id)
 	sc.pool.Free(charged)
@@ -111,6 +115,7 @@ func (sc *storageCache) touch(p *Partition) ([]Row, error) {
 				return nil, err
 			}
 			sc.engine.counters.BytesUnspilled.Add(n)
+			sc.engine.counters.Unspills.Add(1)
 			err = sc.pool.TryAllocOrEvict(n, "unspill", func(int64) int64 {
 				if !sc.engine.cfg.Kind.SupportsSpill() {
 					return 0
@@ -118,6 +123,12 @@ func (sc *storageCache) touch(p *Partition) ([]Row, error) {
 				return sc.evictLRULocked()
 			})
 			if err != nil {
+				// The rows are already resident but the pool refused the
+				// charge: re-spill (or, under disk trouble, discard) so the
+				// partition never lingers as memory the model can't see.
+				if _, spillErr := p.spill(sc.engine.spillDir); spillErr != nil {
+					p.discard()
+				}
 				return nil, err
 			}
 			sc.index[p.id] = sc.lru.PushFront(p)

@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestPrometheusGolden locks down the text exposition format byte-for-byte.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("vista_tasks_total", "Tasks executed.").Add(3)
+	r.Counter("vista_http_requests_total", "HTTP requests served.",
+		Label{"path", "/run"}, Label{"code", "200"}).Inc()
+	r.Counter("vista_http_requests_total", "HTTP requests served.",
+		Label{"path", "/run"}, Label{"code", "400"}).Add(2)
+	g := r.Gauge("vista_pool_used_bytes", "Bytes in use.", Label{"pool", "storage"}, Label{"node", "0"})
+	g.Set(1024)
+	r.GaugeFunc("vista_pool_capacity_bytes", "Pool capacity.",
+		func() float64 { return 4096 }, Label{"pool", "storage"}, Label{"node", "0"})
+	h := r.Histogram("vista_request_seconds", "Request latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	want := `# HELP vista_http_requests_total HTTP requests served.
+# TYPE vista_http_requests_total counter
+vista_http_requests_total{code="200",path="/run"} 1
+vista_http_requests_total{code="400",path="/run"} 2
+# HELP vista_pool_capacity_bytes Pool capacity.
+# TYPE vista_pool_capacity_bytes gauge
+vista_pool_capacity_bytes{node="0",pool="storage"} 4096
+# HELP vista_pool_used_bytes Bytes in use.
+# TYPE vista_pool_used_bytes gauge
+vista_pool_used_bytes{node="0",pool="storage"} 1024
+# HELP vista_request_seconds Request latency.
+# TYPE vista_request_seconds histogram
+vista_request_seconds_bucket{le="0.1"} 1
+vista_request_seconds_bucket{le="1"} 2
+vista_request_seconds_bucket{le="+Inf"} 3
+vista_request_seconds_sum 5.55
+vista_request_seconds_count 3
+# HELP vista_tasks_total Tasks executed.
+# TYPE vista_tasks_total counter
+vista_tasks_total 3
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestRegistrySameHandle verifies that re-registering returns the identical
+// instance, so independent call sites accumulate into one series.
+func TestRegistrySameHandle(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("c_total", "h", Label{"k", "v"})
+	b := r.Counter("c_total", "h", Label{"k", "v"})
+	if a != b {
+		t.Error("same name+labels returned distinct counters")
+	}
+	a.Add(2)
+	b.Inc()
+	if a.Value() != 3 {
+		t.Errorf("counter = %d, want 3", a.Value())
+	}
+	ga := r.Gauge("g", "h")
+	gb := r.Gauge("g", "h")
+	if ga != gb {
+		t.Error("same name returned distinct gauges")
+	}
+	ha := r.Histogram("h", "h", DefBuckets)
+	hb := r.Histogram("h", "h", DefBuckets)
+	if ha != hb {
+		t.Error("same name returned distinct histograms")
+	}
+}
+
+// TestRegistryFuncReplace verifies func-backed series are replaceable — the
+// contract that lets each fresh per-run engine take over the gauges.
+func TestRegistryFuncReplace(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("g", "h", func() float64 { return 1 })
+	r.GaugeFunc("g", "h", func() float64 { return 2 })
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	if !strings.Contains(b.String(), "g 2\n") {
+		t.Errorf("replacement callback not used:\n%s", b.String())
+	}
+	if strings.Count(b.String(), "\ng ") != 0 && strings.Contains(b.String(), "g 1") {
+		t.Errorf("stale callback still rendered:\n%s", b.String())
+	}
+}
+
+// TestRegistryTypeConflict verifies that reusing a name across metric types
+// panics instead of corrupting the exposition.
+func TestRegistryTypeConflict(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "h")
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on counter/gauge name conflict")
+		}
+	}()
+	r.Gauge("m", "h")
+}
+
+// TestHistogramBuckets verifies bucket assignment edges.
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "h", []float64{1, 2})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`lat_bucket{le="1"} 2`,
+		`lat_bucket{le="2"} 4`,
+		`lat_bucket{le="+Inf"} 5`,
+		`lat_sum 8`,
+		`lat_count 5`,
+	} {
+		if !strings.Contains(b.String(), want+"\n") {
+			t.Errorf("missing %q in:\n%s", want, b.String())
+		}
+	}
+}
+
+// TestRegistryConcurrent hammers one registry from many writers while
+// scraping it, for the race detector.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var writers, scraper sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			c := r.Counter("work_total", "h")
+			g := r.Gauge("level", "h", Label{"worker", string(rune('a' + w))})
+			h := r.Histogram("lat", "h", DefBuckets)
+			for i := 0; i < 500; i++ {
+				c.Inc()
+				g.Set(float64(i))
+				h.Observe(float64(i) / 100)
+				r.GaugeFunc("fn", "h", func() float64 { return float64(i) })
+			}
+		}(w)
+	}
+	scraper.Add(1)
+	go func() {
+		defer scraper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				var b strings.Builder
+				if err := r.WritePrometheus(&b); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	scraper.Wait()
+	if got := r.Counter("work_total", "h").Value(); got != 4*500 {
+		t.Errorf("work_total = %d, want %d", got, 4*500)
+	}
+}

@@ -1,0 +1,23 @@
+// Package obs is the reproduction's observability substrate: a stdlib-only
+// metrics registry with Prometheus text-format exposition, and lightweight
+// stage spans for tracing a run's execution tree.
+//
+// The paper's evaluation (Figure 6's crash/slowdown taxonomy, Table 3's
+// per-stage breakdown) depends on exactly this kind of telemetry: per-pool
+// memory usage versus capacity, spill/unspill traffic, and per-stage wall
+// times. obs makes those numbers live — scrapeable over HTTP while a run is
+// in flight — instead of a post-hoc counter snapshot.
+//
+// Metrics: a Registry holds counter, gauge, and histogram families keyed by
+// name, each with an optional fixed label set per instance. Func-backed
+// variants (CounterFunc, GaugeFunc) read their value at scrape time, which
+// lets the dataflow engine expose its atomic counters and memory pools with
+// zero per-update overhead. WritePrometheus renders the whole registry in the
+// Prometheus text exposition format (version 0.0.4).
+//
+// Spans: StartSpan opens a root span; Span.StartChild nests. Spans carry
+// integer attributes (rows, bytes, FLOPs) and render as an indented tree with
+// durations and self-times (Render). core.Run emits one span per stage —
+// ingest, join, premat:<layer>, infer:<layer>, cache:<layer>, train:<layer> —
+// and derives its public Timings from the span tree.
+package obs

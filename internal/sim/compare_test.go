@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// measuredTrace builds a deterministic span tree shaped like a Staged/AJ run.
+func measuredTrace() *obs.Span {
+	t0 := time.Unix(0, 0)
+	at := func(d time.Duration) time.Time { return t0.Add(d) }
+	root := obs.StartSpanAt("run", at(0))
+	stage := func(name string, from, to time.Duration) {
+		root.StartChildAt(name, at(from)).EndAt(at(to))
+	}
+	stage("ingest", 0, 100*time.Millisecond)
+	stage("join", 100*time.Millisecond, 150*time.Millisecond)
+	stage("infer:fc6", 150*time.Millisecond, 650*time.Millisecond)
+	stage("train:fc6", 650*time.Millisecond, 850*time.Millisecond)
+	stage("cache:fc7", 850*time.Millisecond, 870*time.Millisecond)
+	root.EndAt(at(900 * time.Millisecond))
+	return root
+}
+
+func simulated() Result {
+	return Result{
+		ReadSec: 40,
+		JoinSec: 20,
+		Layers: []LayerCost{
+			{Layer: "fc6", InferSec: 200, TrainFirstSec: 30, TrainRestSec: 10},
+			{Layer: "fc7", InferSec: 5, TrainFirstSec: 3, TrainRestSec: 1},
+		},
+	}
+}
+
+func TestCompareTrace(t *testing.T) {
+	comps := CompareTrace(simulated(), measuredTrace())
+	if len(comps) != 5 {
+		t.Fatalf("got %d rows, want 5", len(comps))
+	}
+	want := []struct {
+		stage    string
+		estSec   float64
+		measured time.Duration
+	}{
+		{"ingest", 40, 100 * time.Millisecond},
+		{"join", 20, 50 * time.Millisecond},
+		{"infer:fc6", 200, 500 * time.Millisecond},
+		{"train:fc6", 40, 200 * time.Millisecond},
+		{"cache:fc7", 0, 20 * time.Millisecond},
+	}
+	for i, w := range want {
+		c := comps[i]
+		if c.Stage != w.stage {
+			t.Errorf("row %d stage = %q, want %q", i, c.Stage, w.stage)
+		}
+		if got := c.Estimated.Seconds(); got != w.estSec {
+			t.Errorf("%s estimated = %vs, want %vs", w.stage, got, w.estSec)
+		}
+		if c.Measured != w.measured {
+			t.Errorf("%s measured = %v, want %v", w.stage, c.Measured, w.measured)
+		}
+	}
+}
+
+func TestCompareTraceCrashedSim(t *testing.T) {
+	r := simulated()
+	r.Crash = errors.New("storage exhausted")
+	for _, c := range CompareTrace(r, measuredTrace()) {
+		if c.Estimated != 0 {
+			t.Errorf("%s estimated = %v on a crashed sim", c.Stage, c.Estimated)
+		}
+		if c.Measured == 0 {
+			t.Errorf("%s lost its measurement", c.Stage)
+		}
+	}
+}
+
+func TestRenderComparison(t *testing.T) {
+	var b strings.Builder
+	RenderComparison(&b, CompareTrace(simulated(), measuredTrace()))
+	out := b.String()
+	for _, want := range []string{
+		"stage", "est%", "meas%",
+		"infer:fc6", "200s", "0.500s",
+		"total", "300s", "0.870s",
+		"66.7%", // infer:fc6's share both estimated (200/300) and nearly measured
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered comparison missing %q:\n%s", want, out)
+		}
+	}
+	// The unmodeled cache stage renders a dash, not 0s.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "cache:fc7") && !strings.Contains(line, "-") {
+			t.Errorf("cache row should show '-' estimate: %q", line)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Runs the repository's Go benchmarks and emits one JSON document of results
+# (ns/op, B/op, allocs/op per benchmark), for tracking performance across PRs.
+#
+# Usage:
+#   scripts/bench.sh [output.json]       # default output: BENCH_2.json
+#   BENCH_SHORT=1 scripts/bench.sh       # smoke mode: -short -benchtime 1x
+#
+# Covers the root figure/ablation benchmarks plus the hot internal packages.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_2.json}"
+pkgs=(. ./internal/dataflow ./internal/ml ./internal/cnn ./internal/tensor)
+
+args=(-run '^$' -bench . -benchmem)
+if [[ "${BENCH_SHORT:-0}" == "1" ]]; then
+    args+=(-short -benchtime 1x)
+fi
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+for pkg in "${pkgs[@]}"; do
+    echo "== go test -bench $pkg ==" >&2
+    go test "${args[@]}" "$pkg" | tee -a "$raw" >&2
+done
+
+# Parse "BenchmarkName-8  10  123 ns/op  45 B/op  6 allocs/op" lines into JSON.
+awk '
+BEGIN { print "{"; print "  \"benchmarks\": [" ; n = 0 }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    iters = $2
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 3; i < NF; i++) {
+        if ($(i+1) == "ns/op") ns = $i
+        if ($(i+1) == "B/op") bytes = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+    }
+    if (ns == "") next
+    if (n++) printf ",\n"
+    printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns
+    if (bytes != "")  printf ", \"bytes_per_op\": %s", bytes
+    if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+    printf "}"
+}
+END { print ""; print "  ]"; print "}" }
+' "$raw" > "$out"
+
+count=$(grep -c '"name"' "$out" || true)
+echo "wrote $count benchmark results to $out" >&2

@@ -21,4 +21,9 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== bench smoke (BENCH_SHORT=1) =="
+bench_out=$(mktemp)
+BENCH_SHORT=1 scripts/bench.sh "$bench_out"
+rm -f "$bench_out"
+
 echo "CI passed."
