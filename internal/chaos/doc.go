@@ -1,0 +1,20 @@
+// Package chaos holds the seeded fault-injection stress harness: hundreds of
+// deterministic fault schedules driven through internal/faultinject against
+// the dataflow engine and the full core.Run pipeline.
+//
+// Each schedule arms one or two failpoint sites with policies chosen by a
+// seeded PRNG, runs a workload, and then asserts the system's failure
+// contract:
+//
+//   - every surfaced error is typed — a *faultinject.Error, a
+//     *memory.OOMError, or wraps dataflow.ErrCorruptRow — never an untyped
+//     string or a panic;
+//   - all memory pools drain to zero once tables are dropped;
+//   - no spill files, feature-store entry files, or atomic-write temp files
+//     are orphaned (the feature store is re-opened and Fsck'd after every
+//     schedule).
+//
+// The package has no non-test code beyond this doc; the harness lives in
+// chaos_test.go. CI runs the -short smoke subset under -race; the full
+// schedule set (>= 200 seeds) runs in normal mode.
+package chaos

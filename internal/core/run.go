@@ -7,12 +7,30 @@ import (
 	"repro/internal/cnn"
 	"repro/internal/dataflow"
 	"repro/internal/dl"
+	"repro/internal/faultinject"
 	"repro/internal/ml"
 	"repro/internal/obs"
 	"repro/internal/optimizer"
 	"repro/internal/plan"
 	"repro/internal/tensor"
 )
+
+// FaultStage is the failpoint site hit at every executor stage boundary; a
+// labeled variant "core/stage:<label>" is hit first (labels: ingest, join,
+// premat, infer, cache, train), so a schedule can fail the Nth stage of any
+// kind or one specific kind of stage.
+const FaultStage = "core/stage"
+
+// failStage consults the failpoint layer at a stage boundary.
+func failStage(label string) error {
+	if err := faultinject.Hit(FaultStage + ":" + label); err != nil {
+		return fmt.Errorf("core: stage %s: %w", label, err)
+	}
+	if err := faultinject.Hit(FaultStage); err != nil {
+		return fmt.Errorf("core: stage %s: %w", label, err)
+	}
+	return nil
+}
 
 // Run executes the feature-transfer workload end-to-end on the real engine:
 // optimizer → configuration → ingestion → join and (partial) CNN inference
@@ -213,6 +231,9 @@ func counterDelta(load func() int64) func() int64 {
 
 func (ex *executor) run() ([]LayerResult, error) {
 	e := ex.engine
+	if err := failStage("ingest"); err != nil {
+		return nil, err
+	}
 	ingest := ex.stage("ingest")
 	readBytes := counterDelta(e.Counters().BytesRead.Load)
 	tstr, err := e.CreateTable("tstr", ex.spec.StructRows, ex.decision.NP)
@@ -235,11 +256,21 @@ func (ex *executor) run() ([]LayerResult, error) {
 // runAfterJoin joins Tstr ⋈ Timg first, then runs inference passes over the
 // joined table (the paper's AJ placement; Staged/AJ is Vista's default).
 func (ex *executor) runAfterJoin(tstr, timg *dataflow.Table) ([]LayerResult, error) {
+	if err := failStage("join"); err != nil {
+		tstr.Drop()
+		timg.Drop()
+		return nil, err
+	}
 	join := ex.stage("join")
 	joinRows := counterDelta(ex.engine.Counters().RowsProcessed.Load)
 	shuffled := counterDelta(ex.engine.Counters().BytesShuffled.Load)
 	base, err := ex.engine.Join("joined", tstr, timg, ex.decision.Join)
 	if err != nil {
+		// A failed join must release both inputs, or their cached (and
+		// possibly spilled) partitions outlive the run.
+		join.End()
+		tstr.Drop()
+		timg.Drop()
 		return nil, err
 	}
 	join.SetAttr("rows", joinRows())
@@ -273,10 +304,10 @@ func (ex *executor) runBeforeJoin(tstr, timg *dataflow.Table) ([]LayerResult, er
 	if ex.plan.PreMaterializedBase >= 0 {
 		var err error
 		base, rawIdx, err = ex.preMaterializeBJ(tstr, timg, &results)
+		timg.Drop()
 		if err != nil {
 			return nil, err
 		}
-		timg.Drop()
 	}
 	trainJoined := func(out *dataflow.Table, featIdx int, em plan.Emit) (LayerResult, error) {
 		proj, err := ex.projectFeature(out, featIdx, em.LayerName)
@@ -385,6 +416,9 @@ func (ex *executor) runStep(name string, in *dataflow.Table, step plan.Step, raw
 	if ex.session == nil {
 		return nil, fmt.Errorf("core: internal: inference step %s scheduled without a DL session", name)
 	}
+	if err := failStage("infer"); err != nil {
+		return nil, err
+	}
 	sp := ex.stage("infer:" + step.Emits[0].LayerName)
 	flops := counterDelta(ex.engine.Counters().FLOPs.Load)
 	defer func() {
@@ -425,10 +459,16 @@ func (ex *executor) preMaterialize(base *dataflow.Table, results *[]LayerResult)
 	if err != nil {
 		return nil, 0, err
 	}
+	if err := failStage("premat"); err != nil {
+		base.Drop()
+		return nil, 0, err
+	}
 	sp := ex.stage("premat:" + bl.Name)
 	flops := counterDelta(ex.engine.Counters().FLOPs.Load)
 	out, err := ex.engine.MapPartitions("premat", base, udf)
 	if err != nil {
+		sp.End()
+		base.Drop()
 		return nil, 0, err
 	}
 	sp.SetAttr("flops", flops())
@@ -436,6 +476,7 @@ func (ex *executor) preMaterialize(base *dataflow.Table, results *[]LayerResult)
 	base.Drop()
 	res, err := ex.train(out, 0, plan.Emit{LayerName: bl.Name, LayerIndex: bl.LayerIndex, FeatureDim: bl.FeatureDim})
 	if err != nil {
+		out.Drop()
 		return nil, 0, err
 	}
 	*results = append(*results, res)
@@ -455,10 +496,14 @@ func (ex *executor) preMaterializeBJ(tstr, timg *dataflow.Table, results *[]Laye
 	if err != nil {
 		return nil, 0, err
 	}
+	if err := failStage("premat"); err != nil {
+		return nil, 0, err
+	}
 	sp := ex.stage("premat:" + bl.Name)
 	flops := counterDelta(ex.engine.Counters().FLOPs.Load)
 	out, err := ex.engine.MapPartitions("premat", timg, udf)
 	if err != nil {
+		sp.End()
 		return nil, 0, err
 	}
 	sp.SetAttr("flops", flops())
@@ -466,16 +511,19 @@ func (ex *executor) preMaterializeBJ(tstr, timg *dataflow.Table, results *[]Laye
 	em := plan.Emit{LayerName: bl.Name, LayerIndex: bl.LayerIndex, FeatureDim: bl.FeatureDim}
 	proj, err := ex.projectFeature(out, 0, bl.Name)
 	if err != nil {
+		out.Drop()
 		return nil, 0, err
 	}
 	joined, err := ex.engine.Join("train-"+bl.Name, tstr, proj, ex.decision.Join)
 	proj.Drop()
 	if err != nil {
+		out.Drop()
 		return nil, 0, err
 	}
 	res, err := ex.train(joined, 0, em)
 	joined.Drop()
 	if err != nil {
+		out.Drop()
 		return nil, 0, err
 	}
 	*results = append(*results, res)
@@ -506,6 +554,9 @@ func (ex *executor) projectFeature(t *dataflow.Table, idx int, layer string) (*d
 
 // train fits the downstream model on [X, feature(idx)] and evaluates it.
 func (ex *executor) train(t *dataflow.Table, featIdx int, em plan.Emit) (LayerResult, error) {
+	if err := failStage("train"); err != nil {
+		return LayerResult{}, err
+	}
 	sp := ex.stage("train:" + em.LayerName)
 	trainRowsRead := counterDelta(ex.engine.Counters().RowsProcessed.Load)
 	defer func() {

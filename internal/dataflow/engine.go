@@ -42,6 +42,10 @@ type Engine struct {
 
 	mu     sync.Mutex
 	closed bool
+	// spillFiles tracks live spill files (guarded by mu) so Close can
+	// remove any that error paths stranded — a run that dies mid-plan in a
+	// caller-provided SpillDir must not leave orphan part-*.spill files.
+	spillFiles map[string]struct{}
 }
 
 // node is one worker: its memory pools, partition cache, and core slots.
@@ -72,7 +76,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 		spillDir = d
 		ownDir = true
 	}
-	e := &Engine{cfg: cfg, spillDir: spillDir, ownDir: ownDir}
+	e := &Engine{cfg: cfg, spillDir: spillDir, ownDir: ownDir, spillFiles: make(map[string]struct{})}
 	e.driver = memory.NewPool(memory.User, memory.DriverOOM, cfg.DriverMemory)
 	for i := 0; i < cfg.Nodes; i++ {
 		n := &node{
@@ -116,7 +120,10 @@ func (e *Engine) StorageUsed() int64 {
 	return total
 }
 
-// Close releases spill files and (if owned) the spill directory.
+// Close releases spill files and (if owned) the spill directory. Spill files
+// still live at close time — tables leaked by error paths — are removed
+// individually, so a shared SpillDir is left clean without touching files
+// that belong to other engines.
 func (e *Engine) Close() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -124,10 +131,28 @@ func (e *Engine) Close() error {
 		return nil
 	}
 	e.closed = true
+	for path := range e.spillFiles {
+		os.Remove(path)
+	}
+	e.spillFiles = nil
 	if e.ownDir {
 		return os.RemoveAll(e.spillDir)
 	}
 	return nil
+}
+
+// noteSpillLocked and noteUnspillLocked maintain the live spill-file set;
+// callers hold e.mu.
+func (e *Engine) noteSpillLocked(path string) {
+	if e.spillFiles != nil && path != "" {
+		e.spillFiles[path] = struct{}{}
+	}
+}
+
+func (e *Engine) noteUnspillLocked(path string) {
+	if e.spillFiles != nil {
+		delete(e.spillFiles, path)
+	}
 }
 
 // nodeFor maps a partition index to its owning worker.

@@ -6,6 +6,20 @@ import (
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/faultinject"
+)
+
+// Failpoint sites (see internal/faultinject) on the spill I/O edges.
+const (
+	// FaultSpillWrite is the byte site for spill-file writes; a torn write
+	// there must never leave a partial spill file behind.
+	FaultSpillWrite = "dataflow/spill.write"
+	// FaultUnspillRead guards reading a spill file back.
+	FaultUnspillRead = "dataflow/unspill.read"
+	// FaultUnspillAdmit models the storage pool refusing to re-admit an
+	// unspilled partition (the touch recovery path).
+	FaultUnspillAdmit = "dataflow/unspill.admit"
 )
 
 // PersistFormat selects how a cached partition is held in Storage Memory
@@ -100,6 +114,14 @@ func (p *Partition) Spilled() bool {
 	return p.spillPath != ""
 }
 
+// SpillPath returns the partition's current spill file path ("" when
+// resident); the engine uses it to track files for crash-time cleanup.
+func (p *Partition) SpillPath() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.spillPath
+}
+
 // Rows materializes the partition's rows, reading back spilled or serialized
 // data as needed. The returned slice must be treated as read-only.
 func (p *Partition) Rows() ([]Row, error) {
@@ -114,6 +136,9 @@ func (p *Partition) rowsLocked() ([]Row, error) {
 	}
 	blob := p.blob
 	if blob == nil && p.spillPath != "" {
+		if err := faultinject.Hit(FaultUnspillRead); err != nil {
+			return nil, fmt.Errorf("dataflow: read spill: %w", err)
+		}
 		b, err := os.ReadFile(p.spillPath)
 		if err != nil {
 			return nil, fmt.Errorf("dataflow: read spill: %w", err)
@@ -171,7 +196,22 @@ func (p *Partition) spill(dir string) (int64, error) {
 		}
 	}
 	path := filepath.Join(dir, fmt.Sprintf("part-%d.spill", p.id))
-	if err := os.WriteFile(path, blob, 0o600); err != nil {
+	payload := blob
+	if v := faultinject.HitBytes(FaultSpillWrite, int64(len(blob))); v.Err != nil {
+		// A torn write: persist the prefix a dying disk would leave, then
+		// clean it up — a failed spill must not strand an orphan file.
+		if v.Allowed > 0 {
+			os.WriteFile(path, blob[:v.Allowed], 0o600)
+		}
+		os.Remove(path)
+		return 0, fmt.Errorf("dataflow: spill: %w", v.Err)
+	} else if v.SilentTear {
+		// A silent torn write: the spill "succeeds" but only a prefix is
+		// durable; the corruption surfaces as a typed decode error at
+		// unspill time, never as a wrong answer.
+		payload = blob[:v.Allowed]
+	}
+	if err := os.WriteFile(path, payload, 0o600); err != nil {
 		return 0, fmt.Errorf("dataflow: spill: %w", err)
 	}
 	p.spillPath = path
@@ -187,6 +227,9 @@ func (p *Partition) unspill(format PersistFormat) (int64, error) {
 	defer p.mu.Unlock()
 	if p.spillPath == "" {
 		return p.memBytes, nil
+	}
+	if err := faultinject.Hit(FaultUnspillRead); err != nil {
+		return 0, fmt.Errorf("dataflow: unspill: %w", err)
 	}
 	blob, err := os.ReadFile(p.spillPath)
 	if err != nil {

@@ -16,7 +16,17 @@ import (
 	"io"
 	"math"
 
+	"repro/internal/faultinject"
 	"repro/internal/tensor"
+)
+
+// Failpoint sites (see internal/faultinject) on the row codec, the choke
+// point every spill, shuffle blob, and feature-store entry passes through.
+const (
+	// FaultRowEncode guards EncodeRows.
+	FaultRowEncode = "dataflow/rowcodec.encode"
+	// FaultRowDecode guards DecodeRows.
+	FaultRowDecode = "dataflow/rowcodec.decode"
 )
 
 // Row is one record of a Vista table: the primary key, the downstream label,
@@ -254,6 +264,9 @@ func (rr *rowReader) decodeRow() (Row, error) {
 // EncodeRows encodes a row slice into a single compressed blob — the
 // "compressed serialized" persistence format of Section 4.2.3.
 func EncodeRows(rows []Row) ([]byte, error) {
+	if err := faultinject.Hit(FaultRowEncode); err != nil {
+		return nil, fmt.Errorf("dataflow: encode rows: %w", err)
+	}
 	var raw []byte
 	var scratch [4]byte
 	byteOrder.PutUint32(scratch[:], uint32(len(rows)))
@@ -277,13 +290,19 @@ func EncodeRows(rows []Row) ([]byte, error) {
 
 // DecodeRows decodes a blob produced by EncodeRows.
 func DecodeRows(blob []byte) ([]Row, error) {
+	if err := faultinject.Hit(FaultRowDecode); err != nil {
+		return nil, fmt.Errorf("dataflow: decode rows: %w", err)
+	}
 	r := flate.NewReader(bytes.NewReader(blob))
 	raw, err := io.ReadAll(r)
 	if err != nil {
-		return nil, fmt.Errorf("dataflow: decompress: %w", err)
+		// A blob that will not decompress is a corrupt encoding (e.g. a
+		// torn spill file); surface the typed sentinel, not a bare flate
+		// error, so callers can classify the failure.
+		return nil, fmt.Errorf("%w: decompress: %v", ErrCorruptRow, err)
 	}
 	if err := r.Close(); err != nil {
-		return nil, fmt.Errorf("dataflow: decompress: %w", err)
+		return nil, fmt.Errorf("%w: decompress: %v", ErrCorruptRow, err)
 	}
 	rr := &rowReader{buf: raw}
 	n, err := rr.u32()

@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"fmt"
 
+	"repro/internal/faultinject"
 	"repro/internal/memory"
 )
 
@@ -89,6 +90,7 @@ func (sc *storageCache) evictLRULocked() int64 {
 	}
 	sc.engine.counters.BytesSpilled.Add(written)
 	sc.engine.counters.Spills.Add(1)
+	sc.engine.noteSpillLocked(p.SpillPath())
 	sc.lru.Remove(back)
 	delete(sc.index, p.id)
 	sc.pool.Free(charged)
@@ -110,24 +112,37 @@ func (sc *storageCache) touch(p *Partition) ([]Row, error) {
 		sc.engine.mu.Lock()
 		defer sc.engine.mu.Unlock()
 		if p.Spilled() { // re-check under lock
+			path := p.SpillPath()
 			n, err := p.unspill(sc.engine.cfg.DefaultFormat)
 			if err != nil {
 				return nil, err
 			}
+			sc.engine.noteUnspillLocked(path)
 			sc.engine.counters.BytesUnspilled.Add(n)
 			sc.engine.counters.Unspills.Add(1)
-			err = sc.pool.TryAllocOrEvict(n, "unspill", func(int64) int64 {
-				if !sc.engine.cfg.Kind.SupportsSpill() {
-					return 0
-				}
-				return sc.evictLRULocked()
-			})
+			err = faultinject.Hit(FaultUnspillAdmit)
+			if err == nil {
+				err = sc.pool.TryAllocOrEvict(n, "unspill", func(int64) int64 {
+					if !sc.engine.cfg.Kind.SupportsSpill() {
+						return 0
+					}
+					return sc.evictLRULocked()
+				})
+			}
 			if err != nil {
 				// The rows are already resident but the pool refused the
 				// charge: re-spill (or, under disk trouble, discard) so the
 				// partition never lingers as memory the model can't see.
-				if _, spillErr := p.spill(sc.engine.spillDir); spillErr != nil {
+				// The recovery spill is a real disk write: it must move the
+				// same counters the eviction path moves, or instrumentation
+				// (and sim.CompareTrace's spill-volume comparison)
+				// undercounts I/O.
+				if written, spillErr := p.spill(sc.engine.spillDir); spillErr != nil {
 					p.discard()
+				} else {
+					sc.engine.counters.BytesSpilled.Add(written)
+					sc.engine.counters.Spills.Add(1)
+					sc.engine.noteSpillLocked(p.SpillPath())
 				}
 				return nil, err
 			}
@@ -149,6 +164,7 @@ func (sc *storageCache) drop(p *Partition) {
 		delete(sc.index, p.id)
 		sc.pool.Free(charged)
 	}
+	sc.engine.noteUnspillLocked(p.SpillPath())
 	p.discard()
 }
 

@@ -56,6 +56,9 @@ func (e *Engine) CreateTable(name string, rows []Row, np int) (*Table, error) {
 	for i, b := range buckets {
 		p := newPartition(i, b)
 		if err := e.nodeFor(i).storage.add(p); err != nil {
+			// Release the partitions already admitted: a failed ingest must
+			// not leave storage charges (or spill files) behind.
+			t.Drop()
 			return nil, fmt.Errorf("dataflow: ingest %s: %w", name, err)
 		}
 		t.partitions[i] = p

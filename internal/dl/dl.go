@@ -13,8 +13,19 @@ import (
 
 	"repro/internal/cnn"
 	"repro/internal/dataflow"
+	"repro/internal/faultinject"
 	"repro/internal/memory"
 	"repro/internal/tensor"
+)
+
+// Failpoint sites (see internal/faultinject).
+const (
+	// FaultSessionBroadcast guards the driver's serialized-model broadcast
+	// allocation in NewSession.
+	FaultSessionBroadcast = "dl/session.broadcast"
+	// FaultInferBatch guards the per-partition batch-buffer allocation at
+	// the top of every inference UDF invocation.
+	FaultInferBatch = "dl/infer.batch"
 )
 
 // Options configures a Session.
@@ -61,6 +72,9 @@ func NewSession(e *dataflow.Engine, model *cnn.Model, opts Options) (*Session, e
 	blob, err := cnn.SerializeWeights(weights)
 	if err != nil {
 		return nil, err
+	}
+	if err := faultinject.Hit(FaultSessionBroadcast); err != nil {
+		return nil, fmt.Errorf("dl: broadcast %s: %w", model.Name, err)
 	}
 	if err := e.DriverPool().Alloc(int64(len(blob)), fmt.Sprintf("serialized %s broadcast", model.Name)); err != nil {
 		return nil, err
@@ -209,6 +223,9 @@ func (s *Session) PartitionFunc(spec InferenceSpec) (dataflow.PartitionFunc, err
 	}
 
 	return func(tc *dataflow.TaskContext, in []Row) ([]Row, error) {
+		if err := faultinject.Hit(FaultInferBatch); err != nil {
+			return nil, fmt.Errorf("dl: partition %d batch buffer: %w", tc.Part, err)
+		}
 		out := make([]Row, len(in))
 		for i := range in {
 			r := in[i] // shallow copy; payloads are replaced below

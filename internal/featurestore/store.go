@@ -9,6 +9,32 @@ import (
 	"sync"
 
 	"repro/internal/dataflow"
+	"repro/internal/faultinject"
+)
+
+// Failpoint sites (see internal/faultinject). The two writeFileAtomic base
+// sites expand into ".create", ".write" (a byte site), and ".rename"
+// sub-sites; the put.* sites are the kill-here points crash-consistency
+// tests arm between the store's two persistence steps.
+const (
+	// FaultEntryWrite is the base site for entry-file writes; sub-sites:
+	// featurestore/entry.create, featurestore/entry.write (bytes),
+	// featurestore/entry.rename.
+	FaultEntryWrite = "featurestore/entry"
+	// FaultIndexWrite is the base site for index writes; sub-sites:
+	// featurestore/index.create, featurestore/index.write (bytes),
+	// featurestore/index.rename.
+	FaultIndexWrite = "featurestore/index"
+	// FaultEntryRead guards Get's entry-file read-back.
+	FaultEntryRead = "featurestore/entry.read"
+	// FaultPutEntryWritten sits between a Put's entry write and its index
+	// persist — a kill here leaves an entry file the index knows nothing
+	// about (or, on replace, a file whose size disagrees with the index).
+	FaultPutEntryWritten = "featurestore/put.entry-written"
+	// FaultPutIndexPersisted sits after a Put's index persist — combined
+	// with SilentTruncate on featurestore/index.write it crashes the
+	// process right after a torn index reached its final name.
+	FaultPutIndexPersisted = "featurestore/put.index-persisted"
 )
 
 // Store is a content-addressed, disk-backed materialized store for CNN
@@ -99,6 +125,7 @@ func Open(dir string, budget int64) (*Store, error) {
 			s.clock = e.LastUsed + 1
 		}
 	}
+	s.sweepTempFiles()
 	s.removeOrphans()
 	s.evictLocked(0)
 	if len(s.entries) != len(persisted) || persisted == nil {
@@ -115,30 +142,56 @@ func (s *Store) Dir() string { return s.dir }
 // and reported as a miss rather than an error, so callers can always fall
 // back to recomputation.
 func (s *Store) Get(k Key) ([]dataflow.Row, bool, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	id := k.id()
+	s.mu.Lock()
 	e, ok := s.entries[id]
 	if !ok {
 		s.misses++
+		s.mu.Unlock()
 		return nil, false, nil
 	}
-	blob, err := os.ReadFile(s.entryPath(id))
+	s.mu.Unlock()
+
+	// Read and decode outside the lock: a single large-entry read must not
+	// serialize every other request against the process-wide store. The
+	// entry file may be replaced or removed meanwhile — rename-based writes
+	// guarantee we still see a complete blob or a clean ENOENT.
 	var rows []dataflow.Row
+	blob, err := s.readEntry(id)
 	if err == nil {
 		rows, err = dataflow.DecodeRows(blob)
 	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur, present := s.entries[id]
 	if err != nil {
-		s.dropLocked(e)
-		s.persistIndexLocked()
+		// Unreadable or undecodable entry: drop it — unless it already
+		// vanished (or was replaced) while we read — and report a miss so
+		// callers fall back to recomputation.
+		if present && cur == e {
+			s.dropLocked(cur)
+			s.persistIndexLocked()
+		}
 		s.misses++
 		return nil, false, nil
 	}
-	s.clock++
-	e.lastUsed = s.clock
-	s.lru.MoveToFront(e.elem)
+	if present {
+		s.clock++
+		cur.lastUsed = s.clock
+		s.lru.MoveToFront(cur.elem)
+	}
 	s.hits++
 	return rows, true, nil
+}
+
+// readEntry loads one entry file's blob (its failpoint site models a bad
+// sector or lost file at read time).
+func (s *Store) readEntry(id string) ([]byte, error) {
+	if err := faultinject.Hit(FaultEntryRead); err != nil {
+		return nil, err
+	}
+	return os.ReadFile(s.entryPath(id))
 }
 
 // Put materializes rows under k, evicting LRU entries as needed to respect
@@ -156,20 +209,45 @@ func (s *Store) Put(k Key, rows []dataflow.Row) error {
 		return nil
 	}
 	id := k.id()
-	if prev, ok := s.entries[id]; ok {
-		s.dropLocked(prev)
-	}
-	s.evictLocked(size)
-	if err := writeFileAtomic(s.entryPath(id), blob); err != nil {
+	// Write the new blob before touching the existing entry: writeFileAtomic
+	// replaces the old file only at its final rename, so a failed write
+	// leaves a previous entry for the same key intact on disk and in memory
+	// instead of destroying the old features and losing the key.
+	if err := writeFileAtomic(FaultEntryWrite, s.entryPath(id), blob); err != nil {
 		return fmt.Errorf("featurestore: write %s: %w", k, err)
 	}
+	if ferr := faultinject.Hit(FaultPutEntryWritten); ferr != nil {
+		// Injected failure between entry write and index persist: roll the
+		// key back entirely so disk and memory stay in agreement (the old
+		// blob, if any, was already replaced by the rename above).
+		if prev, ok := s.entries[id]; ok {
+			s.dropLocked(prev)
+			s.persistIndexLocked()
+		} else {
+			os.Remove(s.entryPath(id))
+		}
+		return fmt.Errorf("featurestore: write %s: %w", k, ferr)
+	}
+	if prev, ok := s.entries[id]; ok {
+		// The rename already swapped the old blob out; detach the stale
+		// in-memory entry without deleting the new file.
+		s.detachLocked(prev)
+	}
+	s.evictLocked(size)
 	s.clock++
 	e := &storeEntry{key: k, id: id, size: size, lastUsed: s.clock}
 	e.elem = s.lru.PushFront(e)
 	s.entries[id] = e
 	s.used += size
 	s.puts++
-	s.persistIndexLocked()
+	if err := s.persistIndexLocked(); err != nil {
+		// The entry itself is durable and usable; the stale index only
+		// costs a cold entry after a crash (Open removes the orphan file).
+		return fmt.Errorf("featurestore: persist index for %s: %w", k, err)
+	}
+	if ferr := faultinject.Hit(FaultPutIndexPersisted); ferr != nil {
+		return fmt.Errorf("featurestore: %s: %w", k, ferr)
+	}
 	return nil
 }
 
@@ -221,6 +299,57 @@ func (s *Store) Close() error {
 	return s.persistIndexLocked()
 }
 
+// Fsck cross-checks the in-memory index against the directory: every indexed
+// entry must have a file of the recorded size, every entry file must be
+// indexed, no atomic-write temp files may linger, the byte accounting must
+// equal the sum of entry sizes, and the persisted index must decode. Chaos
+// and crash-consistency tests call it after every fault schedule; it returns
+// the first inconsistency found.
+func (s *Store) Fsck() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var sum int64
+	for id, e := range s.entries {
+		fi, err := os.Stat(s.entryPath(id))
+		if err != nil {
+			return fmt.Errorf("featurestore: fsck: indexed entry %s has no file: %w", id, err)
+		}
+		if fi.Size() != e.size {
+			return fmt.Errorf("featurestore: fsck: entry %s is %d bytes on disk, index says %d", id, fi.Size(), e.size)
+		}
+		sum += e.size
+	}
+	if sum != s.used {
+		return fmt.Errorf("featurestore: fsck: %d bytes charged, entries sum to %d", s.used, sum)
+	}
+	des, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("featurestore: fsck: %w", err)
+	}
+	for _, de := range des {
+		name := de.Name()
+		if strings.HasPrefix(name, tmpPrefix) {
+			return fmt.Errorf("featurestore: fsck: stranded temp file %s", name)
+		}
+		if strings.HasSuffix(name, entrySuffix) {
+			if _, ok := s.entries[strings.TrimSuffix(name, entrySuffix)]; !ok {
+				return fmt.Errorf("featurestore: fsck: orphan entry file %s", name)
+			}
+		}
+	}
+	blob, err := os.ReadFile(filepath.Join(s.dir, indexName))
+	if err != nil {
+		if os.IsNotExist(err) && len(s.entries) == 0 {
+			return nil // never persisted; an empty store is consistent
+		}
+		return fmt.Errorf("featurestore: fsck: reading index: %w", err)
+	}
+	if _, err := DecodeIndex(blob); err != nil {
+		return fmt.Errorf("featurestore: fsck: %w", err)
+	}
+	return nil
+}
+
 // evictLocked frees space until incoming extra bytes fit under the budget.
 func (s *Store) evictLocked(incoming int64) {
 	if s.budget <= 0 {
@@ -234,11 +363,17 @@ func (s *Store) evictLocked(incoming int64) {
 	}
 }
 
-// dropLocked removes an entry from memory and disk.
-func (s *Store) dropLocked(e *storeEntry) {
+// detachLocked removes an entry from the in-memory index without touching
+// its file — used when the file has already been replaced in place.
+func (s *Store) detachLocked(e *storeEntry) {
 	s.lru.Remove(e.elem)
 	delete(s.entries, e.id)
 	s.used -= e.size
+}
+
+// dropLocked removes an entry from memory and disk.
+func (s *Store) dropLocked(e *storeEntry) {
+	s.detachLocked(e)
 	os.Remove(s.entryPath(e.id))
 }
 
@@ -263,7 +398,21 @@ func (s *Store) persistIndexLocked() error {
 		e := el.Value.(*storeEntry)
 		entries = append(entries, IndexEntry{Key: e.key, Size: e.size, LastUsed: e.lastUsed})
 	}
-	return writeFileAtomic(filepath.Join(s.dir, indexName), EncodeIndex(entries))
+	return writeFileAtomic(FaultIndexWrite, filepath.Join(s.dir, indexName), EncodeIndex(entries))
+}
+
+// sweepTempFiles removes stale atomic-write temp files — a process killed
+// between a temp write and its rename leaves one behind.
+func (s *Store) sweepTempFiles() {
+	names, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	for _, de := range names {
+		if strings.HasPrefix(de.Name(), tmpPrefix) {
+			os.Remove(filepath.Join(s.dir, de.Name()))
+		}
+	}
 }
 
 // wipeEntryFiles deletes every entry file; used when the index is corrupt
@@ -299,14 +448,41 @@ func (s *Store) removeOrphans() {
 	}
 }
 
+// tmpPrefix names the atomic-write temp files so crash recovery can sweep
+// the ones a kill stranded.
+const tmpPrefix = ".tmp-"
+
 // writeFileAtomic writes via a temp file + rename so readers (and crashes)
-// never observe a partially written file.
-func writeFileAtomic(path string, blob []byte) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+// never observe a partially written file. The failpoint sub-sites under the
+// base site model the distinct failure points: temp-file creation
+// ("<site>.create"), the data write ("<site>.write", a byte site that can
+// tear), and the rename boundary ("<site>.rename" — a kill there strands a
+// complete temp file without the final name ever appearing).
+func writeFileAtomic(site, path string, blob []byte) error {
+	if err := faultinject.Hit(site + ".create"); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), tmpPrefix+"*")
 	if err != nil {
 		return err
 	}
-	_, werr := tmp.Write(blob)
+	payload := blob
+	if v := faultinject.HitBytes(site+".write", int64(len(blob))); v.Err != nil {
+		// A reported torn write: persist the allowed prefix (what a dying
+		// disk would leave in the temp file), then fail — the temp file is
+		// removed, so the tear never reaches the final name.
+		if v.Allowed > 0 {
+			tmp.Write(blob[:v.Allowed])
+		}
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return v.Err
+	} else if v.SilentTear {
+		// A silent torn write (no fsync before rename): the prefix lands
+		// and the rename proceeds as if everything were durable.
+		payload = blob[:v.Allowed]
+	}
+	_, werr := tmp.Write(payload)
 	cerr := tmp.Close()
 	if werr != nil || cerr != nil {
 		os.Remove(tmp.Name())
@@ -314,6 +490,10 @@ func writeFileAtomic(path string, blob []byte) error {
 			return werr
 		}
 		return cerr
+	}
+	if err := faultinject.Hit(site + ".rename"); err != nil {
+		os.Remove(tmp.Name())
+		return err
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		os.Remove(tmp.Name())

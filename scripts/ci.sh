@@ -19,7 +19,20 @@ echo "== go build =="
 go build ./...
 
 echo "== go test -race =="
-go test -race ./...
+# The full chaos schedule set is too slow under the race detector; it gets a
+# dedicated -short smoke below plus a full non-race run.
+go test -race $(go list ./... | grep -v '/internal/chaos$')
+
+echo "== go test -race (fault-injection critical packages) =="
+# Armed-at-exit is enforced by each package's TestMain: a test that leaves a
+# failpoint site armed fails the package even when every test passed.
+go test -race -count=1 ./internal/faultinject/... ./internal/dataflow ./internal/featurestore
+
+echo "== chaos: -race short smoke =="
+go test -race -short -count=1 ./internal/chaos
+
+echo "== chaos: full schedule set =="
+go test -count=1 ./internal/chaos
 
 echo "== bench smoke (BENCH_SHORT=1) =="
 bench_out=$(mktemp)
