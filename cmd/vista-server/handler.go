@@ -5,7 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/cnn"
 	"repro/internal/core"
@@ -13,6 +15,7 @@ import (
 	"repro/internal/featurestore"
 	"repro/internal/memory"
 	"repro/internal/obs"
+	"repro/internal/obs/sampler"
 	"repro/internal/optimizer"
 	"repro/internal/plan"
 	"repro/internal/sim"
@@ -104,12 +107,22 @@ func toDecisionJSON(d optimizer.Decision) decisionJSON {
 type api struct {
 	store   *featurestore.Store // nil = caching disabled
 	metrics *obs.Registry
+	// sloP99 is the per-endpoint p99 latency bound (seconds) that
+	// /healthz?slo=1 enforces.
+	sloP99 float64
+	// paths are the instrumented endpoints, for the SLO sweep.
+	paths []string
 
 	mu sync.Mutex
 	// runKeys remembers each served workload's feature-store content
 	// address, so /simulate can probe the store for workloads /run has
 	// materialized.
 	runKeys map[string]runKey
+	// lastTrace/lastSeries hold the most recent successful /run's span tree
+	// and sampled time series, served by GET /trace/{format} and
+	// GET /timeseries.
+	lastTrace  *obs.Span
+	lastSeries *sampler.Recording
 }
 
 // runKey is the store's content-address pair for one workload.
@@ -122,28 +135,44 @@ func workloadKey(req *workloadRequest) string {
 	return fmt.Sprintf("%s|%s|%d|%d", req.Model, req.Dataset, req.Rows, req.Seed)
 }
 
+// defaultSLOP99 is the default per-endpoint p99 latency bound: generous,
+// because /run executes a real workload in-process.
+const defaultSLOP99 = 60.0
+
 // newHandler builds the service mux around a shared feature store (nil
-// disables cross-run caching). Every route is instrumented with latency and
-// status-code series, served alongside engine/store series on GET /metrics.
+// disables cross-run caching), with the default latency SLO.
 func newHandler(store *featurestore.Store) http.Handler {
-	a := &api{store: store, metrics: obs.NewRegistry(), runKeys: make(map[string]runKey)}
+	return newHandlerSLO(store, defaultSLOP99)
+}
+
+// newHandlerSLO is newHandler with an explicit p99 latency bound (seconds)
+// for /healthz?slo=1. Every route is instrumented with latency and
+// status-code series, served alongside engine/store series on GET /metrics.
+func newHandlerSLO(store *featurestore.Store, sloP99 float64) http.Handler {
+	a := &api{store: store, metrics: obs.NewRegistry(), sloP99: sloP99,
+		runKeys: make(map[string]runKey)}
 	if store != nil {
 		store.RegisterMetrics(a.metrics)
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	mux.HandleFunc("GET /healthz", a.handleHealthz)
 	mux.HandleFunc("GET /metrics", a.handleMetrics)
 	mux.HandleFunc("GET /roster", handleRoster)
 	mux.HandleFunc("GET /featurestore", a.handleFeatureStore)
+	mux.HandleFunc("GET /trace/{format}", a.handleTrace)
+	mux.HandleFunc("GET /timeseries", a.handleTimeseries)
 	mux.HandleFunc("POST /explain", handleExplain)
 	mux.HandleFunc("POST /simulate", a.handleSimulate)
 	mux.HandleFunc("POST /run", a.handleRun)
 	known := map[string]bool{
 		"/healthz": true, "/metrics": true, "/roster": true,
 		"/featurestore": true, "/explain": true, "/simulate": true, "/run": true,
+		"/trace/chrome": true, "/trace/otlp": true, "/timeseries": true,
 	}
+	for p := range known {
+		a.paths = append(a.paths, p)
+	}
+	sort.Strings(a.paths)
 	return instrument(a.metrics, known, mux)
 }
 
@@ -356,6 +385,10 @@ func (a *api) handleSimulate(w http.ResponseWriter, r *http.Request) {
 // maxRunRows bounds /run's dataset size: this endpoint executes for real.
 const maxRunRows = 20000
 
+// runSampleEvery is the /run sampler period. Served runs are tiny-scale, so a
+// short period keeps enough frames per stage for /timeseries to be useful.
+const runSampleEvery = 5 * time.Millisecond
+
 func (a *api) handleRun(w http.ResponseWriter, r *http.Request) {
 	req, err := decodeRequest(r, true)
 	if err != nil {
@@ -391,6 +424,7 @@ func (a *api) handleRun(w http.ResponseWriter, r *http.Request) {
 		Seed:         req.Seed,
 		FeatureStore: a.store,
 		Metrics:      a.metrics,
+		SampleEvery:  runSampleEvery,
 	})
 	if err != nil {
 		if oom, ok := memory.IsOOM(err); ok {
@@ -411,13 +445,15 @@ func (a *api) handleRun(w http.ResponseWriter, r *http.Request) {
 		layers = append(layers, layerJSON{Layer: l.LayerName, FeatureDim: l.FeatureDim,
 			TrainF1: l.Train.F1, TestF1: l.Test.F1})
 	}
+	a.mu.Lock()
 	if res.Cache.Enabled {
-		a.mu.Lock()
 		a.runKeys[workloadKey(req)] = runKey{
 			weightsSum: res.Cache.WeightsSum, dataSum: res.Cache.DataSum,
 		}
-		a.mu.Unlock()
 	}
+	a.lastTrace = res.Trace
+	a.lastSeries = res.Series
+	a.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"crashed":    false,
 		"decision":   toDecisionJSON(res.Decision),

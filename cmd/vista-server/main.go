@@ -1,11 +1,16 @@
 // Command vista-server exposes the Vista reproduction as a small JSON HTTP
 // service:
 //
-//	GET  /healthz              liveness probe
+//	GET  /healthz              liveness probe (?slo=1 degrades to 503 when any
+//	                           endpoint's p99 latency exceeds -slo-p99)
 //	GET  /metrics              Prometheus text exposition (engine, pools,
 //	                           feature store, per-endpoint HTTP series)
 //	GET  /roster               the CNN roster with derived statistics
 //	GET  /featurestore         feature-store counters (hits, misses, bytes)
+//	GET  /trace/{format}       the last /run's trace: chrome (Perfetto
+//	                           loadable) or otlp (OTLP-style JSON spans)
+//	GET  /timeseries           the last /run's sampled time series
+//	                           (?format=csv for CSV, JSON otherwise)
 //	POST /explain              optimizer decision + size analysis (no execution)
 //	POST /simulate             predicted runtime on a calibrated cluster profile
 //	POST /run                  real tiny-scale execution with per-layer metrics
@@ -45,6 +50,8 @@ func main() {
 		"feature store directory (default: a fresh per-process temp dir)")
 	cacheMB := flag.Int64("feature-cache-mb", 256,
 		"feature store byte budget in MiB (0 disables cross-run feature reuse)")
+	sloP99 := flag.Float64("slo-p99", defaultSLOP99,
+		"per-endpoint p99 latency bound in seconds, enforced by /healthz?slo=1")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -71,7 +78,7 @@ func main() {
 		log.Printf("feature store at %s (budget %d MiB)", dir, *cacheMB)
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: newHandler(store)}
+	srv := &http.Server{Addr: *addr, Handler: newHandlerSLO(store, *sloP99)}
 	log.Printf("vista-server listening on %s", *addr)
 	if err := serve(ctx, srv); err != nil {
 		fmt.Fprintln(os.Stderr, "vista-server:", err)

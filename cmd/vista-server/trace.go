@@ -1,0 +1,59 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+
+	"repro/internal/obs"
+	"repro/internal/obs/export"
+	"repro/internal/obs/sampler"
+)
+
+// lastRun returns the most recent successful /run's trace and recording.
+func (a *api) lastRun() (*obs.Span, *sampler.Recording) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.lastTrace, a.lastSeries
+}
+
+// handleTrace serves the last /run's span tree as a downloadable trace file:
+// GET /trace/chrome (chrome://tracing / Perfetto loadable, with sampled
+// counter tracks) or GET /trace/otlp (OTLP-style JSON spans).
+func (a *api) handleTrace(w http.ResponseWriter, r *http.Request) {
+	trace, series := a.lastRun()
+	if trace == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no run traced yet (POST /run first)"))
+		return
+	}
+	switch format := r.PathValue("format"); format {
+	case "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		_ = export.WriteChromeTrace(w, trace, series)
+	case "otlp":
+		w.Header().Set("Content-Type", "application/json")
+		_ = export.WriteOTLP(w, trace)
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown trace format %q (chrome or otlp)", format))
+	}
+}
+
+// handleTimeseries serves the last /run's sampled time series: JSON by
+// default, CSV with ?format=csv.
+func (a *api) handleTimeseries(w http.ResponseWriter, r *http.Request) {
+	_, series := a.lastRun()
+	if series == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no run sampled yet (POST /run first)"))
+		return
+	}
+	switch format := r.URL.Query().Get("format"); strings.ToLower(format) {
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv")
+		_ = export.WriteTimeseriesCSV(w, series)
+	case "", "json":
+		w.Header().Set("Content-Type", "application/json")
+		_ = export.WriteTimeseriesJSON(w, series)
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown timeseries format %q (json or csv)", format))
+	}
+}

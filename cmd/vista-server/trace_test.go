@@ -1,0 +1,112 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// get performs a GET and returns the raw response.
+func get(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	return rec
+}
+
+func TestTraceEndpointBeforeAnyRun(t *testing.T) {
+	h := newHandler(nil)
+	if rec := get(t, h, "/trace/chrome"); rec.Code != http.StatusNotFound {
+		t.Errorf("/trace/chrome before run = %d, want 404", rec.Code)
+	}
+	if rec := get(t, h, "/timeseries"); rec.Code != http.StatusNotFound {
+		t.Errorf("/timeseries before run = %d, want 404", rec.Code)
+	}
+}
+
+func TestTraceAndTimeseriesEndpoints(t *testing.T) {
+	h := newHandler(nil)
+	code, body := doJSON(t, h, "POST", "/run",
+		`{"model":"tiny-alexnet","dataset":"foods","layers":2,"rows":100}`)
+	if code != http.StatusOK || body["crashed"] != false {
+		t.Fatalf("/run = %d %v", code, body)
+	}
+
+	// Chrome format: valid trace-event JSON covering the run's stages.
+	rec := get(t, h, "/trace/chrome")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/trace/chrome = %d: %s", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("/trace/chrome Content-Type = %q", ct)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	names := make(map[string]bool)
+	for _, ev := range doc.TraceEvents {
+		names[ev.Name] = true
+	}
+	for _, want := range []string{"run", "ingest"} {
+		if !names[want] {
+			t.Errorf("chrome trace missing span %q", want)
+		}
+	}
+
+	// OTLP format.
+	rec = get(t, h, "/trace/otlp")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/trace/otlp = %d", rec.Code)
+	}
+	var otlp struct {
+		ResourceSpans []json.RawMessage `json:"resourceSpans"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &otlp); err != nil || len(otlp.ResourceSpans) == 0 {
+		t.Fatalf("otlp trace invalid: %v (%d resourceSpans)", err, len(otlp.ResourceSpans))
+	}
+
+	// Unknown format.
+	if rec = get(t, h, "/trace/nope"); rec.Code != http.StatusBadRequest {
+		t.Errorf("/trace/nope = %d, want 400", rec.Code)
+	}
+
+	// Time series: JSON by default, CSV on request.
+	rec = get(t, h, "/timeseries")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/timeseries = %d", rec.Code)
+	}
+	var series struct {
+		Frames []struct {
+			UnixNs int64  `json:"unix_ns"`
+			Stage  string `json:"stage"`
+		} `json:"frames"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &series); err != nil {
+		t.Fatalf("timeseries JSON invalid: %v", err)
+	}
+	if len(series.Frames) < 2 {
+		t.Errorf("timeseries has %d frames, want >= 2 (initial + final)", len(series.Frames))
+	}
+
+	rec = get(t, h, "/timeseries?format=csv")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/timeseries?format=csv = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "text/csv" {
+		t.Errorf("CSV Content-Type = %q", ct)
+	}
+	if !strings.HasPrefix(rec.Body.String(), "unix_ns,stage,") {
+		t.Errorf("CSV header missing: %q", strings.SplitN(rec.Body.String(), "\n", 2)[0])
+	}
+	if rec = get(t, h, "/timeseries?format=nope"); rec.Code != http.StatusBadRequest {
+		t.Errorf("/timeseries?format=nope = %d, want 400", rec.Code)
+	}
+}

@@ -12,9 +12,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/data"
@@ -22,6 +24,8 @@ import (
 	"repro/internal/featurestore"
 	"repro/internal/memory"
 	"repro/internal/ml"
+	"repro/internal/obs"
+	"repro/internal/obs/export"
 	"repro/internal/plan"
 	"repro/internal/sim"
 )
@@ -44,7 +48,11 @@ func main() {
 		saveModels = flag.String("save-models", "", "write per-layer trained model artifacts (JSON) to this directory")
 		cacheDir   = flag.String("feature-cache", "", "materialize CNN features in this directory and reuse them across invocations")
 		cacheMB    = flag.Int64("feature-cache-mb", 512, "feature cache byte budget in MiB (with -feature-cache)")
-		trace      = flag.Bool("trace", false, "print the run's stage span tree and the simulator's estimate-vs-measured comparison")
+		trace      = flag.Bool("trace", false, "print (to stderr) the run's stage span tree and the simulator's estimate-vs-measured comparisons")
+		traceOut   = flag.String("trace-out", "", "write the run's trace to this file (chrome://tracing / Perfetto loadable)")
+		traceFmt   = flag.String("trace-format", "chrome", "trace file format: chrome (trace-event JSON) or otlp (OTLP-style JSON spans)")
+		seriesOut  = flag.String("timeseries-out", "", "write the run's sampled time series to this file (.csv = CSV, otherwise JSON)")
+		sampleEvr  = flag.Duration("sample-every", 10*time.Millisecond, "time-series sample period (with -timeseries-out / -trace-out / -trace)")
 	)
 	flag.Parse()
 
@@ -54,8 +62,10 @@ func main() {
 		planKind: *planKind, placement: *placement, downstream: *downstream,
 		seed: *seed, dataDir: *dataDir, saveData: *saveData, saveModels: *saveModels,
 		cacheDir: *cacheDir, cacheMB: *cacheMB, trace: *trace,
+		traceOut: *traceOut, traceFormat: *traceFmt,
+		timeseriesOut: *seriesOut, sampleEvery: *sampleEvr,
 	}
-	if err := run(opts); err != nil {
+	if err := run(opts, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "vista:", err)
 		os.Exit(1)
 	}
@@ -63,27 +73,50 @@ func main() {
 
 // runOptions carries the parsed flags.
 type runOptions struct {
-	dataset    string
-	rows       int
-	model      string
-	layers     int
-	nodes      int
-	cores      int
-	memGB      float64
-	planKind   string
-	placement  string
-	downstream string
-	seed       int64
-	dataDir    string
-	saveData   string
-	saveModels string
-	cacheDir   string
-	cacheMB    int64
-	trace      bool
+	dataset       string
+	rows          int
+	model         string
+	layers        int
+	nodes         int
+	cores         int
+	memGB         float64
+	planKind      string
+	placement     string
+	downstream    string
+	seed          int64
+	dataDir       string
+	saveData      string
+	saveModels    string
+	cacheDir      string
+	cacheMB       int64
+	trace         bool
+	traceOut      string
+	traceFormat   string
+	timeseriesOut string
+	sampleEvery   time.Duration
 }
 
-func run(o runOptions) error {
-	structRows, imageRows, err := loadOrGenerate(o)
+// observing reports whether the run needs the metrics registry and sampler.
+func (o *runOptions) observing() bool {
+	return o.trace || o.traceOut != "" || o.timeseriesOut != ""
+}
+
+// run executes the workload. Result rows and summary counters go to stdout;
+// diagnostics — the -trace span report and the estimate-vs-measured tables —
+// go to stderr, so piped stdout stays machine-readable.
+func run(o runOptions, stdout, stderr io.Writer) error {
+	switch o.traceFormat {
+	case "", "chrome":
+		o.traceFormat = "chrome"
+	case "otlp":
+	default:
+		return fmt.Errorf("unknown trace format %q (chrome or otlp)", o.traceFormat)
+	}
+	if o.observing() && o.sampleEvery <= 0 {
+		o.sampleEvery = time.Millisecond
+	}
+
+	structRows, imageRows, err := loadOrGenerate(o, stdout)
 	if err != nil {
 		return err
 	}
@@ -107,6 +140,10 @@ func run(o runOptions) error {
 		}
 		defer store.Close()
 		runSpec.FeatureStore = store
+	}
+	if o.observing() {
+		runSpec.Metrics = obs.NewRegistry()
+		runSpec.SampleEvery = o.sampleEvery
 	}
 	switch strings.ToLower(o.planKind) {
 	case "lazy":
@@ -137,7 +174,7 @@ func run(o runOptions) error {
 		return fmt.Errorf("unknown downstream model %q", o.downstream)
 	}
 
-	fmt.Printf("Running %s/%s over %s with %s downstream...\n",
+	fmt.Fprintf(stdout, "Running %s/%s over %s with %s downstream...\n",
 		runSpec.PlanKind, runSpec.Placement, o.model, runSpec.Downstream.Kind)
 	res, err := core.Run(runSpec)
 	if err != nil {
@@ -148,34 +185,46 @@ func run(o runOptions) error {
 	}
 
 	d := res.Decision
-	fmt.Printf("\nOptimizer decision: cpu=%d np=%d join=%v pers=%v storage=%s user=%s dl=%s\n",
+	fmt.Fprintf(stdout, "\nOptimizer decision: cpu=%d np=%d join=%v pers=%v storage=%s user=%s dl=%s\n",
 		d.CPU, d.NP, d.Join, d.Pers,
 		memory.FormatBytes(d.MemStorage), memory.FormatBytes(d.MemUser), memory.FormatBytes(d.MemDL))
-	fmt.Printf("\n%-10s %10s %10s %10s\n", "layer", "dims", "train F1", "test F1")
+	fmt.Fprintf(stdout, "\n%-10s %10s %10s %10s\n", "layer", "dims", "train F1", "test F1")
 	for _, lr := range res.Layers {
-		fmt.Printf("%-10s %10d %9.1f%% %9.1f%%\n",
+		fmt.Fprintf(stdout, "%-10s %10d %9.1f%% %9.1f%%\n",
 			lr.LayerName, lr.FeatureDim, lr.Train.F1*100, lr.Test.F1*100)
 	}
-	fmt.Printf("\nStage breakdown:\n")
+	fmt.Fprintf(stdout, "\nStage breakdown:\n")
 	for _, tm := range res.Timings {
-		fmt.Printf("  %-16s %v\n", tm.Label, tm.Elapsed.Round(1e6))
+		fmt.Fprintf(stdout, "  %-16s %v\n", tm.Label, tm.Elapsed.Round(1e6))
 	}
 	c := res.Counters
-	fmt.Printf("\nElapsed %v | tasks %d | rows %d | FLOPs %.2fG | shuffled %s | spilled %s | peak storage %s\n",
+	fmt.Fprintf(stdout, "\nElapsed %v | tasks %d | rows %d | FLOPs %.2fG | shuffled %s | spilled %s | peak storage %s\n",
 		res.Elapsed.Round(1e6), c.TasksRun, c.RowsProcessed, float64(c.FLOPs)/1e9,
 		memory.FormatBytes(c.BytesShuffled), memory.FormatBytes(c.BytesSpilled),
 		memory.FormatBytes(c.PeakStorageBytes))
 	if res.Cache.Enabled {
 		st := runSpec.FeatureStore.Snapshot()
-		fmt.Printf("Feature cache: %d/%d stages from cache | loaded %d, stored %d entries | store %s in %d entries (hits %d, misses %d, evictions %d)\n",
+		fmt.Fprintf(stdout, "Feature cache: %d/%d stages from cache | loaded %d, stored %d entries | store %s in %d entries (hits %d, misses %d, evictions %d)\n",
 			res.Cache.StagesFromCache, res.Cache.StagesFromCache+res.Cache.StagesExecuted,
 			res.Cache.EntriesLoaded, res.Cache.EntriesStored,
 			memory.FormatBytes(st.UsedBytes), st.Entries, st.Hits, st.Misses, st.Evictions)
 	}
 	if o.trace {
-		fmt.Printf("\nStage trace:\n")
-		res.Trace.Render(os.Stdout)
-		printSimComparison(o, runSpec, res)
+		fmt.Fprintf(stderr, "\nStage trace:\n")
+		res.Trace.Render(stderr)
+		printSimComparison(stderr, o, runSpec, res)
+	}
+	if o.traceOut != "" {
+		if err := writeTraceFile(o.traceOut, o.traceFormat, res); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "wrote %s trace to %s\n", o.traceFormat, o.traceOut)
+	}
+	if o.timeseriesOut != "" {
+		if err := writeTimeseriesFile(o.timeseriesOut, res); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "wrote sampled time series to %s\n", o.timeseriesOut)
 	}
 
 	if o.saveModels != "" {
@@ -188,7 +237,7 @@ func run(o runOptions) error {
 				return err
 			}
 		}
-		fmt.Printf("Saved %d model artifacts to %s\n", len(res.Layers), o.saveModels)
+		fmt.Fprintf(stdout, "Saved %d model artifacts to %s\n", len(res.Layers), o.saveModels)
 	}
 	return nil
 }
@@ -199,7 +248,7 @@ func run(o runOptions) error {
 // magnitude; the per-stage *shares* are the comparable signal. Skipped with a
 // note when the optimizer finds the simulated workload infeasible (tiny
 // in-process runs can describe workloads the paper cluster model rejects).
-func printSimComparison(o runOptions, runSpec core.Spec, res *core.Result) {
+func printSimComparison(w io.Writer, o runOptions, runSpec core.Spec, res *core.Result) {
 	var imgBytes, n int64
 	for i := range runSpec.ImageRows {
 		imgBytes += runSpec.ImageRows[i].MemBytes()
@@ -227,30 +276,78 @@ func printSimComparison(o runOptions, runSpec core.Spec, res *core.Result) {
 		MemSys:    memory.GB(o.memGB),
 	})
 	if err != nil {
-		fmt.Printf("\nSimulator comparison skipped: %v\n", err)
+		fmt.Fprintf(w, "\nSimulator comparison skipped: %v\n", err)
 		return
 	}
 	cfg, err := sim.VistaConfig(wl)
 	if err != nil {
-		fmt.Printf("\nSimulator comparison skipped: %v\n", err)
+		fmt.Fprintf(w, "\nSimulator comparison skipped: %v\n", err)
 		return
 	}
 	prof := sim.PaperCluster().WithNodes(o.nodes)
 	prof.MemPerNode = memory.GB(o.memGB)
 	simRes := sim.Run(wl, cfg, prof)
 	if simRes.Crash != nil {
-		fmt.Printf("\nSimulator comparison skipped: simulated run crashes (%v)\n", simRes.Crash)
+		fmt.Fprintf(w, "\nSimulator comparison skipped: simulated run crashes (%v)\n", simRes.Crash)
 		return
 	}
-	fmt.Printf("\nEstimate vs measured (simulator prices the paper cluster; compare shares, not absolutes):\n")
-	sim.RenderComparison(os.Stdout, sim.CompareTrace(simRes, res.Trace))
+	fmt.Fprintf(w, "\nEstimate vs measured (simulator prices the paper cluster; compare shares, not absolutes):\n")
+	sim.RenderComparison(w, sim.CompareTrace(simRes, res.Trace))
+	if res.Series != nil {
+		fmt.Fprintf(w, "\nMemory-model validation (sampled pool occupancy and spill vs Section 4.1 estimates):\n")
+		sim.RenderSeriesReport(w, sim.CompareSeries(simRes, res.Trace, res.Series))
+	}
+}
+
+// writeTraceFile exports the run's span tree (plus sampled counter tracks for
+// the chrome format) to path.
+func writeTraceFile(path, format string, res *core.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	switch format {
+	case "chrome":
+		err = export.WriteChromeTrace(f, res.Trace, res.Series)
+	case "otlp":
+		err = export.WriteOTLP(f, res.Trace)
+	default:
+		err = fmt.Errorf("unknown trace format %q (chrome or otlp)", format)
+	}
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// writeTimeseriesFile exports the sampled recording: CSV when path ends in
+// .csv, JSON otherwise.
+func writeTimeseriesFile(path string, res *core.Result) error {
+	if res.Series == nil {
+		return fmt.Errorf("no time series recorded (run with -sample-every > 0)")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".csv") {
+		err = export.WriteTimeseriesCSV(f, res.Series)
+	} else {
+		err = export.WriteTimeseriesJSON(f, res.Series)
+	}
+	if err != nil {
+		return err
+	}
+	return f.Close()
 }
 
 // loadOrGenerate obtains the dataset from disk or the synthetic generator,
 // optionally persisting a fresh one.
-func loadOrGenerate(o runOptions) (structRows, imageRows []dataflow.Row, err error) {
+func loadOrGenerate(o runOptions, stdout io.Writer) (structRows, imageRows []dataflow.Row, err error) {
 	if o.dataDir != "" {
-		fmt.Printf("Loading dataset from %s...\n", o.dataDir)
+		fmt.Fprintf(stdout, "Loading dataset from %s...\n", o.dataDir)
 		return data.Load(o.dataDir)
 	}
 	var spec data.Spec
@@ -263,7 +360,7 @@ func loadOrGenerate(o runOptions) (structRows, imageRows []dataflow.Row, err err
 		return nil, nil, fmt.Errorf("unknown dataset %q", o.dataset)
 	}
 	spec = spec.WithRows(o.rows)
-	fmt.Printf("Generating %s: %d rows × %d structured features + %dx%d images...\n",
+	fmt.Fprintf(stdout, "Generating %s: %d rows × %d structured features + %dx%d images...\n",
 		spec.Name, spec.Rows, spec.StructDim, spec.ImageSize, spec.ImageSize)
 	structRows, imageRows, err = data.Generate(spec)
 	if err != nil {
@@ -273,7 +370,7 @@ func loadOrGenerate(o runOptions) (structRows, imageRows []dataflow.Row, err err
 		if err := data.Save(o.saveData, structRows, imageRows); err != nil {
 			return nil, nil, err
 		}
-		fmt.Printf("Saved dataset to %s\n", o.saveData)
+		fmt.Fprintf(stdout, "Saved dataset to %s\n", o.saveData)
 	}
 	return structRows, imageRows, nil
 }

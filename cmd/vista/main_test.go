@@ -1,8 +1,12 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"testing"
 )
 
@@ -15,8 +19,14 @@ func smallOpts(t *testing.T) runOptions {
 	}
 }
 
+// runBuf runs with captured stdout/stderr.
+func runBuf(o runOptions) (stdout, stderr bytes.Buffer, err error) {
+	err = run(o, &stdout, &stderr)
+	return stdout, stderr, err
+}
+
 func TestRunEndToEnd(t *testing.T) {
-	if err := run(smallOpts(t)); err != nil {
+	if _, _, err := runBuf(smallOpts(t)); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
@@ -25,7 +35,7 @@ func TestRunSaveDataAndModels(t *testing.T) {
 	o := smallOpts(t)
 	o.saveData = filepath.Join(t.TempDir(), "ds")
 	o.saveModels = filepath.Join(t.TempDir(), "models")
-	if err := run(o); err != nil {
+	if _, _, err := runBuf(o); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	if _, err := os.Stat(filepath.Join(o.saveData, "structured.csv")); err != nil {
@@ -38,7 +48,7 @@ func TestRunSaveDataAndModels(t *testing.T) {
 	// Round-trip: run again from the saved dataset.
 	o2 := smallOpts(t)
 	o2.dataDir = o.saveData
-	if err := run(o2); err != nil {
+	if _, _, err := runBuf(o2); err != nil {
 		t.Fatalf("run from saved data: %v", err)
 	}
 }
@@ -50,12 +60,131 @@ func TestRunFlagValidation(t *testing.T) {
 		func(o *runOptions) { o.placement = "nope" },
 		func(o *runOptions) { o.downstream = "nope" },
 		func(o *runOptions) { o.model = "nope" },
+		func(o *runOptions) { o.traceFormat = "nope" },
 	}
 	for i, mutate := range cases {
 		o := smallOpts(t)
 		mutate(&o)
-		if err := run(o); err == nil {
+		if _, _, err := runBuf(o); err == nil {
 			t.Errorf("case %d: invalid options accepted", i)
 		}
+	}
+}
+
+// TestTraceReportOnStderr pins the stream split: -trace diagnostics must not
+// contaminate stdout's machine-readable result rows.
+func TestTraceReportOnStderr(t *testing.T) {
+	o := smallOpts(t)
+	o.trace = true
+	stdout, stderr, err := runBuf(o)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if strings.Contains(stdout.String(), "Stage trace:") {
+		t.Errorf("trace report leaked to stdout:\n%s", stdout.String())
+	}
+	for _, want := range []string{"Stage trace:", "Estimate vs measured", "Memory-model validation"} {
+		if !strings.Contains(stderr.String(), want) {
+			t.Errorf("stderr missing %q:\n%s", want, stderr.String())
+		}
+	}
+	if !strings.Contains(stdout.String(), "Stage breakdown:") {
+		t.Errorf("result summary missing from stdout")
+	}
+}
+
+// TestTraceOutChrome checks the exported trace file decodes and its events
+// cover every span of the run's trace.
+func TestTraceOutChrome(t *testing.T) {
+	o := smallOpts(t)
+	o.traceOut = filepath.Join(t.TempDir(), "trace.json")
+	_, stderr, err := runBuf(o)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(stderr.String(), "wrote chrome trace to") {
+		t.Errorf("missing trace-out note on stderr:\n%s", stderr.String())
+	}
+	raw, err := os.ReadFile(o.traceOut)
+	if err != nil {
+		t.Fatalf("read trace: %v", err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	names := make(map[string]bool)
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			names[ev.Name] = true
+		}
+	}
+	// Every span of the run must appear: the root plus each stage. The exact
+	// labels depend on the plan, but "run", "ingest", and at least one
+	// train: span are always present.
+	for _, want := range []string{"run", "ingest"} {
+		if !names[want] {
+			t.Errorf("trace events missing span %q (have %v)", want, names)
+		}
+	}
+}
+
+func TestTraceOutOTLP(t *testing.T) {
+	o := smallOpts(t)
+	o.traceOut = filepath.Join(t.TempDir(), "trace.otlp.json")
+	o.traceFormat = "otlp"
+	if _, _, err := runBuf(o); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	raw, err := os.ReadFile(o.traceOut)
+	if err != nil {
+		t.Fatalf("read trace: %v", err)
+	}
+	var doc struct {
+		ResourceSpans []json.RawMessage `json:"resourceSpans"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("otlp file is not valid JSON: %v", err)
+	}
+	if len(doc.ResourceSpans) == 0 {
+		t.Fatalf("otlp file has no resourceSpans")
+	}
+}
+
+// TestTimeseriesOutCSV checks the CSV export exists, parses, and has
+// monotonically non-decreasing timestamps.
+func TestTimeseriesOutCSV(t *testing.T) {
+	o := smallOpts(t)
+	o.timeseriesOut = filepath.Join(t.TempDir(), "series.csv")
+	if _, _, err := runBuf(o); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	raw, err := os.ReadFile(o.timeseriesOut)
+	if err != nil {
+		t.Fatalf("read series: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) < 3 { // header + initial + final sample at minimum
+		t.Fatalf("expected >= 3 CSV lines, got %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "unix_ns,stage,") {
+		t.Errorf("bad CSV header: %q", lines[0])
+	}
+	var prev int64
+	for i, ln := range lines[1:] {
+		ns, err := strconv.ParseInt(strings.SplitN(ln, ",", 2)[0], 10, 64)
+		if err != nil {
+			t.Fatalf("row %d: bad unix_ns: %v", i, err)
+		}
+		if ns < prev {
+			t.Errorf("row %d: timestamps not monotone (%d < %d)", i, ns, prev)
+		}
+		prev = ns
 	}
 }

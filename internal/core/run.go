@@ -10,6 +10,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/ml"
 	"repro/internal/obs"
+	"repro/internal/obs/sampler"
 	"repro/internal/optimizer"
 	"repro/internal/plan"
 	"repro/internal/tensor"
@@ -130,8 +131,23 @@ func Run(spec Spec) (*Result, error) {
 		cache:    cache,
 		trace:    obs.StartSpan("run"),
 	}
+	// The sampler observes the run from the outside: it reads the same
+	// func-backed registry series a /metrics scrape would, on its own
+	// goroutine, tagging frames with the stage open in the live span tree.
+	var smp *sampler.Sampler
+	if spec.Metrics != nil && spec.SampleEvery > 0 {
+		smp = sampler.Start(sampler.Config{
+			Registry: spec.Metrics,
+			Trace:    ex.trace,
+			Every:    spec.SampleEvery,
+		})
+	}
 	layers, err := ex.run()
 	ex.trace.End()
+	var recording *sampler.Recording
+	if smp != nil {
+		recording = smp.Stop()
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -154,6 +170,7 @@ func Run(spec Spec) (*Result, error) {
 		Elapsed:  time.Since(start),
 		Trace:    ex.trace,
 		Timings:  timingsFromTrace(ex.trace),
+		Series:   recording,
 		Cache:    report,
 	}, nil
 }

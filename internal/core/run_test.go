@@ -12,11 +12,13 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/cnn"
 	"repro/internal/data"
 	"repro/internal/dataflow"
 	"repro/internal/memory"
+	"repro/internal/obs"
 	"repro/internal/optimizer"
 	"repro/internal/plan"
 )
@@ -389,5 +391,64 @@ func TestRunNoTestSplit(t *testing.T) {
 	}
 	if res.Layers[0].Train.N == 0 {
 		t.Error("train metrics missing")
+	}
+}
+
+// TestRunSampledSeries: with Metrics and SampleEvery set, the run records a
+// time series with stage markers matching the trace's stages.
+func TestRunSampledSeries(t *testing.T) {
+	spec := tinySpec(t, 80)
+	spec.Metrics = obs.NewRegistry()
+	spec.SampleEvery = time.Millisecond
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	rec := res.Series
+	if rec == nil {
+		t.Fatal("Result.Series is nil despite SampleEvery")
+	}
+	if len(rec.Frames) < 2 {
+		t.Fatalf("recorded %d frames, want >= 2 (initial + final)", len(rec.Frames))
+	}
+	if rec.Every != time.Millisecond {
+		t.Errorf("recording period = %v, want 1ms", rec.Every)
+	}
+	for i := 1; i < len(rec.Frames); i++ {
+		if rec.Frames[i].T.Before(rec.Frames[i-1].T) {
+			t.Fatalf("frames out of time order at %d", i)
+		}
+	}
+	// Engine series were sampled.
+	var sawEngine bool
+	for _, key := range rec.SeriesKeys() {
+		if strings.HasPrefix(key, "vista_engine_") || strings.HasPrefix(key, "vista_pool_") {
+			sawEngine = true
+			break
+		}
+	}
+	if !sawEngine {
+		t.Errorf("no engine/pool series sampled; keys = %v", rec.SeriesKeys())
+	}
+	// Every non-empty stage marker names a real top-level stage.
+	stages := make(map[string]bool)
+	for _, sp := range res.Trace.Children() {
+		stages[sp.Name()] = true
+	}
+	for _, f := range rec.Frames {
+		if f.Stage != "" && !stages[f.Stage] {
+			t.Errorf("frame stage %q is not a trace stage", f.Stage)
+		}
+	}
+
+	// Without SampleEvery the run records nothing.
+	spec2 := tinySpec(t, 80)
+	spec2.Metrics = obs.NewRegistry()
+	res2, err := Run(spec2)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res2.Series != nil {
+		t.Error("Series recorded without SampleEvery")
 	}
 }

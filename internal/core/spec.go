@@ -19,6 +19,7 @@ import (
 	"repro/internal/memory"
 	"repro/internal/ml"
 	"repro/internal/obs"
+	"repro/internal/obs/sampler"
 	"repro/internal/optimizer"
 	"repro/internal/plan"
 )
@@ -115,6 +116,14 @@ type Spec struct {
 	// scrape observes the run in flight. A long-lived registry may be reused
 	// across runs; each run's engine takes over the engine series.
 	Metrics *obs.Registry
+
+	// SampleEvery, when positive (and Metrics is set), runs a time-series
+	// sampler for the duration of the run: every period it snapshots the
+	// engine/pool/feature-store series into an in-memory ring, tagging each
+	// frame with the stage open at that instant. The recording lands on
+	// Result.Series, ready for the export writers (CSV/JSON time series,
+	// Chrome trace counter tracks) and sim.CompareSeries.
+	SampleEvery time.Duration
 
 	// — Experiment overrides (default zero values = Vista's choices) —
 	// PlanKind/Placement force a logical plan; Vista's default is
@@ -219,6 +228,12 @@ type Result struct {
 	// Timings is the per-phase breakdown, in execution order (derived from
 	// Trace's top-level children).
 	Timings []StageTiming
+	// Series is the run's sampled time series (nil unless Spec.SampleEvery
+	// and Spec.Metrics were set): per-period frames of engine counters, pool
+	// gauges, and feature-store series with live stage markers. Feed it to
+	// export.WriteTimeseriesCSV/JSON, export.WriteChromeTrace (counter
+	// tracks), or sim.CompareSeries.
+	Series *sampler.Recording
 	// Cache reports feature-store usage (zero value when no store).
 	Cache CacheReport
 }

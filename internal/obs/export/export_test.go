@@ -1,0 +1,183 @@
+package export_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/memory"
+	"repro/internal/obs"
+	"repro/internal/obs/export"
+	"repro/internal/obs/sampler"
+)
+
+// goldenTree builds a deterministic span tree (explicit timestamps) with a
+// nested child, attributes, and a matching synthetic recording.
+func goldenTree() (*obs.Span, *sampler.Recording) {
+	base := time.Unix(1700000000, 0).UTC()
+	root := obs.StartSpanAt("run", base)
+	ing := root.StartChildAt("ingest", base)
+	ing.SetAttr("rows", 100)
+	ing.EndAt(base.Add(10 * time.Millisecond))
+	inf := root.StartChildAt("infer:fc6", base.Add(10*time.Millisecond))
+	inf.SetAttr("flops", 12345)
+	tsk := inf.StartChildAt("task", base.Add(12*time.Millisecond))
+	tsk.EndAt(base.Add(20 * time.Millisecond))
+	inf.EndAt(base.Add(30 * time.Millisecond))
+	root.EndAt(base.Add(35 * time.Millisecond))
+
+	key := `vista_pool_used_bytes{node="0",pool="storage"}`
+	rec := &sampler.Recording{
+		Every: 10 * time.Millisecond,
+		Start: base, End: base.Add(30 * time.Millisecond),
+		Frames: []sampler.Frame{
+			{T: base, Stage: "ingest", Values: map[string]float64{key: 0}},
+			{T: base.Add(10 * time.Millisecond), Stage: "infer:fc6", Values: map[string]float64{key: 4096, "vista_engine_bytes_spilled_total": 0}},
+			{T: base.Add(30 * time.Millisecond), Values: map[string]float64{key: 1024, "vista_engine_bytes_spilled_total": 512}},
+		},
+	}
+	return root, rec
+}
+
+// The goldens lock the wire formats byte for byte: a diff here is a format
+// change that external consumers (Perfetto, OTLP ingesters, spreadsheet
+// imports) will see. Change them deliberately or not at all.
+const chromeGolden = `{"displayTimeUnit":"ms","traceEvents":[{"name":"run","cat":"stage","ph":"X","ts":0,"dur":35000,"pid":1,"tid":1},{"name":"ingest","cat":"stage","ph":"X","ts":0,"dur":10000,"pid":1,"tid":1,"args":{"rows":100}},{"name":"infer:fc6","cat":"stage","ph":"X","ts":10000,"dur":20000,"pid":1,"tid":1,"args":{"flops":12345}},{"name":"task","cat":"stage","ph":"X","ts":12000,"dur":8000,"pid":1,"tid":1},{"name":"vista_engine_bytes_spilled_total","ph":"C","ts":10000,"pid":1,"tid":1,"args":{"value":0}},{"name":"vista_engine_bytes_spilled_total","ph":"C","ts":30000,"pid":1,"tid":1,"args":{"value":512}},{"name":"vista_pool_used_bytes{node=\"0\",pool=\"storage\"}","ph":"C","ts":0,"pid":1,"tid":1,"args":{"value":0}},{"name":"vista_pool_used_bytes{node=\"0\",pool=\"storage\"}","ph":"C","ts":10000,"pid":1,"tid":1,"args":{"value":4096}},{"name":"vista_pool_used_bytes{node=\"0\",pool=\"storage\"}","ph":"C","ts":30000,"pid":1,"tid":1,"args":{"value":1024}}]}
+`
+
+const otlpGolden = `{"resourceSpans":[{"resource":{"attributes":[{"key":"service.name","value":{"stringValue":"vista"}}]},"scopeSpans":[{"scope":{"name":"repro/internal/obs"},"spans":[{"traceId":"5696d812e141567e5a758845aef7b7b1","spanId":"56f90a957e7ef2ee","name":"run","kind":1,"startTimeUnixNano":"1700000000000000000","endTimeUnixNano":"1700000000035000000"},{"traceId":"5696d812e141567e5a758845aef7b7b1","spanId":"56f90b957e7ef4a1","parentSpanId":"56f90a957e7ef2ee","name":"ingest","kind":1,"startTimeUnixNano":"1700000000000000000","endTimeUnixNano":"1700000000010000000","attributes":[{"key":"rows","value":{"intValue":"100"}}]},{"traceId":"5696d812e141567e5a758845aef7b7b1","spanId":"56f908957e7eef88","parentSpanId":"56f90a957e7ef2ee","name":"infer:fc6","kind":1,"startTimeUnixNano":"1700000000010000000","endTimeUnixNano":"1700000000030000000","attributes":[{"key":"flops","value":{"intValue":"12345"}}]},{"traceId":"5696d812e141567e5a758845aef7b7b1","spanId":"56f909957e7ef13b","parentSpanId":"56f908957e7eef88","name":"task","kind":1,"startTimeUnixNano":"1700000000012000000","endTimeUnixNano":"1700000000020000000"}]}]}]}
+`
+
+const csvGolden = `unix_ns,stage,vista_engine_bytes_spilled_total,"vista_pool_used_bytes{node=""0"",pool=""storage""}"
+1700000000000000000,ingest,,0
+1700000000010000000,infer:fc6,0,4096
+1700000000030000000,,512,1024
+`
+
+const jsonGolden = `{"every_ns":10000000,"start_unix_ns":1700000000000000000,"end_unix_ns":1700000000030000000,"dropped_frames":0,"series":["vista_engine_bytes_spilled_total","vista_pool_used_bytes{node=\"0\",pool=\"storage\"}"],"frames":[{"unix_ns":1700000000000000000,"stage":"ingest","values":{"vista_pool_used_bytes{node=\"0\",pool=\"storage\"}":0}},{"unix_ns":1700000000010000000,"stage":"infer:fc6","values":{"vista_engine_bytes_spilled_total":0,"vista_pool_used_bytes{node=\"0\",pool=\"storage\"}":4096}},{"unix_ns":1700000000030000000,"values":{"vista_engine_bytes_spilled_total":512,"vista_pool_used_bytes{node=\"0\",pool=\"storage\"}":1024}}]}
+`
+
+func TestChromeGolden(t *testing.T) {
+	root, rec := goldenTree()
+	var buf bytes.Buffer
+	if err := export.WriteChromeTrace(&buf, root, rec); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	if buf.String() != chromeGolden {
+		t.Errorf("chrome trace drifted from golden:\ngot:  %s\nwant: %s", buf.String(), chromeGolden)
+	}
+	// And it must be valid JSON regardless.
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace not valid JSON: %v", err)
+	}
+}
+
+func TestChromeWithoutRecording(t *testing.T) {
+	root, _ := goldenTree()
+	var buf bytes.Buffer
+	if err := export.WriteChromeTrace(&buf, root, nil); err != nil {
+		t.Fatalf("WriteChromeTrace(nil rec): %v", err)
+	}
+	if strings.Contains(buf.String(), `"ph":"C"`) {
+		t.Error("counter events present without a recording")
+	}
+	if err := export.WriteChromeTrace(&buf, nil, nil); err == nil {
+		t.Error("nil trace accepted")
+	}
+}
+
+func TestOTLPGolden(t *testing.T) {
+	root, _ := goldenTree()
+	var buf bytes.Buffer
+	if err := export.WriteOTLP(&buf, root); err != nil {
+		t.Fatalf("WriteOTLP: %v", err)
+	}
+	if buf.String() != otlpGolden {
+		t.Errorf("otlp drifted from golden:\ngot:  %s\nwant: %s", buf.String(), otlpGolden)
+	}
+	if err := export.WriteOTLP(&buf, nil); err == nil {
+		t.Error("nil trace accepted")
+	}
+}
+
+func TestTimeseriesGoldens(t *testing.T) {
+	_, rec := goldenTree()
+	var buf bytes.Buffer
+	if err := export.WriteTimeseriesCSV(&buf, rec); err != nil {
+		t.Fatalf("WriteTimeseriesCSV: %v", err)
+	}
+	if buf.String() != csvGolden {
+		t.Errorf("csv drifted from golden:\ngot:  %s\nwant: %s", buf.String(), csvGolden)
+	}
+	buf.Reset()
+	if err := export.WriteTimeseriesJSON(&buf, rec); err != nil {
+		t.Fatalf("WriteTimeseriesJSON: %v", err)
+	}
+	if buf.String() != jsonGolden {
+		t.Errorf("json drifted from golden:\ngot:  %s\nwant: %s", buf.String(), jsonGolden)
+	}
+	if err := export.WriteTimeseriesCSV(&buf, nil); err == nil {
+		t.Error("nil recording accepted (CSV)")
+	}
+	if err := export.WriteTimeseriesJSON(&buf, nil); err == nil {
+		t.Error("nil recording accepted (JSON)")
+	}
+}
+
+// TestChromeCoversRealRunTrace is the acceptance check: every span of a real
+// run's trace appears as a complete event in the exported file.
+func TestChromeCoversRealRunTrace(t *testing.T) {
+	structRows, imageRows, err := data.Generate(data.Foods().WithRows(80))
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	res, err := core.Run(core.Spec{
+		Nodes: 2, CoresPerNode: 2, MemPerNode: memory.GB(32),
+		SystemKind: memory.SparkLike,
+		ModelName:  "tiny-alexnet", NumLayers: 2,
+		Downstream: core.DefaultDownstream(),
+		StructRows: structRows, ImageRows: imageRows, Seed: 1,
+		Metrics: obs.NewRegistry(), SampleEvery: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := export.WriteChromeTrace(&buf, res.Trace, res.Series); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	eventCount := make(map[string]int)
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			eventCount[ev.Name]++
+		}
+	}
+	spanCount := make(map[string]int)
+	res.Trace.Walk(func(sp *obs.Span, _ int) { spanCount[sp.Name()]++ })
+	for name, n := range spanCount {
+		if eventCount[name] < n {
+			t.Errorf("span %q: %d events < %d spans", name, eventCount[name], n)
+		}
+	}
+	// The sampled counter tracks ride along.
+	if res.Series == nil || len(res.Series.Frames) < 2 {
+		t.Fatalf("run recorded no series")
+	}
+	if !strings.Contains(buf.String(), `"ph":"C"`) {
+		t.Error("no counter events despite a recording")
+	}
+}

@@ -1,0 +1,129 @@
+package export
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+
+	"repro/internal/obs"
+)
+
+// OTLP-style JSON spans, following the OTLP/JSON mapping conventions:
+// resourceSpans → scopeSpans → spans, 128-bit hex trace IDs, 64-bit hex span
+// IDs, nanosecond timestamps as decimal strings, attributes as typed values.
+// IDs are deterministic functions of the tree (FNV over the root identity
+// plus a preorder index), so the same recorded run always exports the same
+// document — which is what the golden tests and the CI smoke rely on.
+
+type otlpDoc struct {
+	ResourceSpans []otlpResourceSpans `json:"resourceSpans"`
+}
+
+type otlpResourceSpans struct {
+	Resource   otlpResource     `json:"resource"`
+	ScopeSpans []otlpScopeSpans `json:"scopeSpans"`
+}
+
+type otlpResource struct {
+	Attributes []otlpAttr `json:"attributes"`
+}
+
+type otlpScopeSpans struct {
+	Scope otlpScope  `json:"scope"`
+	Spans []otlpSpan `json:"spans"`
+}
+
+type otlpScope struct {
+	Name string `json:"name"`
+}
+
+type otlpSpan struct {
+	TraceID           string     `json:"traceId"`
+	SpanID            string     `json:"spanId"`
+	ParentSpanID      string     `json:"parentSpanId,omitempty"`
+	Name              string     `json:"name"`
+	Kind              int        `json:"kind"`
+	StartTimeUnixNano string     `json:"startTimeUnixNano"`
+	EndTimeUnixNano   string     `json:"endTimeUnixNano"`
+	Attributes        []otlpAttr `json:"attributes,omitempty"`
+}
+
+type otlpAttr struct {
+	Key   string    `json:"key"`
+	Value otlpValue `json:"value"`
+}
+
+type otlpValue struct {
+	StringValue string `json:"stringValue,omitempty"`
+	IntValue    string `json:"intValue,omitempty"`
+}
+
+// spanKindInternal is OTLP's SPAN_KIND_INTERNAL: in-process stages, not RPC.
+const spanKindInternal = 1
+
+// WriteOTLP renders the span tree as one OTLP-style JSON document: a single
+// resource (service.name=vista), a single scope, and every span of the tree
+// in depth-first order with parent links.
+func WriteOTLP(w io.Writer, root *obs.Span) error {
+	if root == nil {
+		return fmt.Errorf("export: nil trace")
+	}
+	traceID := otlpTraceID(root)
+	end := lastEnd(root)
+
+	var spans []otlpSpan
+	var walk func(sp *obs.Span, parentID string)
+	walk = func(sp *obs.Span, parentID string) {
+		id := otlpSpanID(traceID, len(spans))
+		spEnd, ended := sp.EndTime()
+		if !ended {
+			spEnd = end
+		}
+		o := otlpSpan{
+			TraceID: traceID, SpanID: id, ParentSpanID: parentID,
+			Name: sp.Name(), Kind: spanKindInternal,
+			StartTimeUnixNano: fmt.Sprintf("%d", sp.Start().UnixNano()),
+			EndTimeUnixNano:   fmt.Sprintf("%d", spEnd.UnixNano()),
+		}
+		for _, a := range sp.Attrs() {
+			o.Attributes = append(o.Attributes, otlpAttr{
+				Key: a.Key, Value: otlpValue{IntValue: fmt.Sprintf("%d", a.Value)},
+			})
+		}
+		spans = append(spans, o)
+		for _, c := range sp.Children() {
+			walk(c, id)
+		}
+	}
+	walk(root, "")
+
+	doc := otlpDoc{ResourceSpans: []otlpResourceSpans{{
+		Resource: otlpResource{Attributes: []otlpAttr{
+			{Key: "service.name", Value: otlpValue{StringValue: "vista"}},
+		}},
+		ScopeSpans: []otlpScopeSpans{{
+			Scope: otlpScope{Name: "repro/internal/obs"},
+			Spans: spans,
+		}},
+	}}}
+	return json.NewEncoder(w).Encode(doc)
+}
+
+// otlpTraceID derives a deterministic 128-bit hex trace ID from the root
+// span's identity.
+func otlpTraceID(root *obs.Span) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d", root.Name(), root.Start().UnixNano())
+	a := h.Sum64()
+	h.Write([]byte("hi"))
+	return fmt.Sprintf("%016x%016x", a, h.Sum64())
+}
+
+// otlpSpanID derives a deterministic 64-bit hex span ID from the trace ID and
+// the span's preorder index.
+func otlpSpanID(traceID string, index int) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d", traceID, index)
+	return fmt.Sprintf("%016x", h.Sum64())
+}

@@ -1,0 +1,79 @@
+package export
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/obs/sampler"
+)
+
+// WriteTimeseriesCSV renders a recording as CSV: a unix_ns timestamp column,
+// the stage open at sample time, then one column per sampled series (sorted
+// by key). A series absent from a frame renders as an empty cell.
+func WriteTimeseriesCSV(w io.Writer, rec *sampler.Recording) error {
+	if rec == nil {
+		return fmt.Errorf("export: nil recording")
+	}
+	keys := rec.SeriesKeys()
+	cw := csv.NewWriter(w)
+	header := append([]string{"unix_ns", "stage"}, keys...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(header))
+	for _, f := range rec.Frames {
+		row[0] = strconv.FormatInt(f.T.UnixNano(), 10)
+		row[1] = f.Stage
+		for i, k := range keys {
+			if v, ok := f.Value(k); ok {
+				row[2+i] = strconv.FormatFloat(v, 'g', -1, 64)
+			} else {
+				row[2+i] = ""
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// timeseriesJSON is the JSON wire form of a recording.
+type timeseriesJSON struct {
+	EveryNs int64       `json:"every_ns"`
+	StartNs int64       `json:"start_unix_ns"`
+	EndNs   int64       `json:"end_unix_ns"`
+	Dropped int         `json:"dropped_frames"`
+	Series  []string    `json:"series"`
+	Frames  []frameJSON `json:"frames"`
+}
+
+type frameJSON struct {
+	UnixNs int64              `json:"unix_ns"`
+	Stage  string             `json:"stage,omitempty"`
+	Values map[string]float64 `json:"values"`
+}
+
+// WriteTimeseriesJSON renders a recording as one JSON document: the sampling
+// parameters, the sorted series key set, and every frame's values.
+func WriteTimeseriesJSON(w io.Writer, rec *sampler.Recording) error {
+	if rec == nil {
+		return fmt.Errorf("export: nil recording")
+	}
+	doc := timeseriesJSON{
+		EveryNs: rec.Every.Nanoseconds(),
+		StartNs: rec.Start.UnixNano(),
+		EndNs:   rec.End.UnixNano(),
+		Dropped: rec.Dropped,
+		Series:  rec.SeriesKeys(),
+		Frames:  make([]frameJSON, len(rec.Frames)),
+	}
+	for i, f := range rec.Frames {
+		doc.Frames[i] = frameJSON{UnixNs: f.T.UnixNano(), Stage: f.Stage, Values: f.Values}
+	}
+	return json.NewEncoder(w).Encode(doc)
+}

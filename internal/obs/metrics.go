@@ -75,6 +75,82 @@ func (r *Registry) lookup(name, help, typ string, labels []Label, mk func() metr
 	return m
 }
 
+// Sample is one scalar series value read out of the registry: the family
+// name, the rendered label signature ("" or `{k="v",...}`), and the value at
+// read time. Histograms contribute their _sum and _count as two samples.
+type Sample struct {
+	Name   string
+	Labels string
+	Value  float64
+}
+
+// Key returns the sample's fully qualified series identity, name plus
+// rendered labels — the stable key the time-series sampler and exporters
+// index frames by.
+func (s Sample) Key() string { return s.Name + s.Labels }
+
+// Samples reads the current value of every series whose family name passes
+// filter (nil = all), in family-name order then registration order. It is the
+// programmatic analogue of WritePrometheus: counters and gauges yield one
+// sample, func-backed series are invoked (a panicking callback yields NaN),
+// histograms yield name_sum and name_count.
+func (r *Registry) Samples(filter func(name string) bool) []Sample {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		if filter == nil || filter(name) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	type inst struct {
+		name, sig string
+		m         metric
+	}
+	var insts []inst
+	for _, name := range names {
+		f := r.families[name]
+		for _, sig := range f.order {
+			insts = append(insts, inst{name, sig, f.metrics[sig]})
+		}
+	}
+	r.mu.Unlock()
+
+	out := make([]Sample, 0, len(insts))
+	for _, in := range insts {
+		switch m := in.m.(type) {
+		case *Counter:
+			out = append(out, Sample{in.name, in.sig, float64(m.Value())})
+		case *Gauge:
+			out = append(out, Sample{in.name, in.sig, m.Value()})
+		case funcMetric:
+			out = append(out, Sample{in.name, in.sig, m.value()})
+		case *Histogram:
+			sum, count := m.sumCount()
+			out = append(out,
+				Sample{in.name + "_sum", in.sig, sum},
+				Sample{in.name + "_count", in.sig, float64(count)})
+		}
+	}
+	return out
+}
+
+// FindHistogram returns the registered histogram for name+labels, or nil.
+// Unlike Histogram it never creates the instance, so probing (e.g. an SLO
+// check over endpoints that may not have been hit yet) does not mint empty
+// series into the exposition.
+func (r *Registry) FindHistogram(name string, labels ...Label) *Histogram {
+	sig := labelSignature(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		return nil
+	}
+	h, _ := f.metrics[sig].(*Histogram)
+	return h
+}
+
 // Counter returns the counter instance for name+labels, creating it on first
 // use. Repeated calls with the same name and labels return the same handle.
 func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
@@ -205,8 +281,20 @@ func (g *Gauge) write(w io.Writer, name, labels string) {
 // funcMetric reads its value at scrape time.
 type funcMetric func() float64
 
+// value invokes the callback with a panic guard: a func-backed series that
+// panics (e.g. a gauge closure reading an engine that has since been closed)
+// renders as NaN instead of taking down the whole scrape.
+func (f funcMetric) value() (v float64) {
+	defer func() {
+		if recover() != nil {
+			v = math.NaN()
+		}
+	}()
+	return f()
+}
+
 func (f funcMetric) write(w io.Writer, name, labels string) {
-	fmt.Fprintf(w, "%s%s %s\n", name, labels, formatValue(f()))
+	fmt.Fprintf(w, "%s%s %s\n", name, labels, formatValue(f.value()))
 }
 
 // Histogram counts observations into cumulative buckets.
@@ -243,6 +331,49 @@ func (h *Histogram) Count() int64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.count
+}
+
+// sumCount returns the histogram's sum and count.
+func (h *Histogram) sumCount() (float64, int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum, h.count
+}
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) from the bucket counts the
+// way PromQL's histogram_quantile does: find the bucket holding the q·count-th
+// observation and interpolate linearly inside it. Observations beyond the
+// last finite bound report that bound (the estimate saturates, it never
+// invents a value above the largest bucket). ok is false when the histogram
+// holds no observations.
+func (h *Histogram) Quantile(q float64) (v float64, ok bool) {
+	h.mu.Lock()
+	bounds := h.bounds
+	counts := append([]int64(nil), h.counts...)
+	count := h.count
+	h.mu.Unlock()
+	if count == 0 || q <= 0 || q > 1 || len(bounds) == 0 {
+		return 0, false
+	}
+	rank := q * float64(count)
+	var cum int64
+	for i, ub := range bounds {
+		cum += counts[i]
+		if float64(cum) >= rank {
+			lower := 0.0
+			if i > 0 {
+				lower = bounds[i-1]
+			}
+			inBucket := float64(counts[i])
+			if inBucket == 0 {
+				return ub, true
+			}
+			frac := (rank - float64(cum-counts[i])) / inBucket
+			return lower + (ub-lower)*frac, true
+		}
+	}
+	// The rank falls in the +Inf bucket: saturate at the last finite bound.
+	return bounds[len(bounds)-1], true
 }
 
 func (h *Histogram) write(w io.Writer, name, labels string) {

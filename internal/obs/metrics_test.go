@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -176,5 +177,132 @@ func TestRegistryConcurrent(t *testing.T) {
 	scraper.Wait()
 	if got := r.Counter("work_total", "h").Value(); got != 4*500 {
 		t.Errorf("work_total = %d, want %d", got, 4*500)
+	}
+}
+
+// TestFuncMetricPanicGuard: a func-backed series whose callback panics (e.g.
+// a gauge closure reading an engine torn down mid-scrape) must render NaN and
+// leave the rest of the scrape intact — and must not poison Samples either.
+func TestFuncMetricPanicGuard(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("healthy_gauge", "h").Set(7)
+	r.GaugeFunc("broken_gauge", "h", func() float64 { panic("engine closed") })
+	r.CounterFunc("broken_total", "h", func() float64 { panic("engine closed") })
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{"broken_gauge NaN", "broken_total NaN", "healthy_gauge 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scrape missing %q:\n%s", want, out)
+		}
+	}
+
+	var sawBroken bool
+	for _, s := range r.Samples(nil) {
+		switch s.Name {
+		case "broken_gauge":
+			sawBroken = true
+			if !math.IsNaN(s.Value) {
+				t.Errorf("broken_gauge sample = %v, want NaN", s.Value)
+			}
+		case "healthy_gauge":
+			if s.Value != 7 {
+				t.Errorf("healthy_gauge sample = %v, want 7", s.Value)
+			}
+		}
+	}
+	if !sawBroken {
+		t.Error("Samples skipped the broken series")
+	}
+}
+
+func TestSamples(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("vista_engine_tasks_total", "h").Add(3)
+	r.Gauge("vista_pool_used_bytes", "h",
+		Label{Key: "node", Value: "0"}, Label{Key: "pool", Value: "storage"}).Set(4096)
+	h := r.Histogram("vista_http_request_seconds", "h", DefBuckets)
+	h.Observe(0.2)
+	h.Observe(0.4)
+
+	got := make(map[string]float64)
+	for _, s := range r.Samples(nil) {
+		got[s.Key()] = s.Value
+	}
+	want := map[string]float64{
+		"vista_engine_tasks_total":                       3,
+		`vista_pool_used_bytes{node="0",pool="storage"}`: 4096,
+		"vista_http_request_seconds_sum":                 0.6000000000000001,
+		"vista_http_request_seconds_count":               2,
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("Samples[%s] = %v, want %v", k, got[k], v)
+		}
+	}
+
+	// Filtered read: only the pool family.
+	filtered := r.Samples(func(name string) bool { return name == "vista_pool_used_bytes" })
+	if len(filtered) != 1 || filtered[0].Value != 4096 {
+		t.Errorf("filtered Samples = %v", filtered)
+	}
+}
+
+func TestFindHistogram(t *testing.T) {
+	r := NewRegistry()
+	if r.FindHistogram("vista_http_request_seconds") != nil {
+		t.Error("found a histogram in an empty registry")
+	}
+	lbl := Label{Key: "path", Value: "/run"}
+	h := r.Histogram("vista_http_request_seconds", "h", DefBuckets, lbl)
+	if r.FindHistogram("vista_http_request_seconds", lbl) != h {
+		t.Error("FindHistogram did not return the registered instance")
+	}
+	if r.FindHistogram("vista_http_request_seconds", Label{Key: "path", Value: "/other"}) != nil {
+		t.Error("FindHistogram minted or found a never-registered label set")
+	}
+	// Probing must not create series: the exposition stays label-complete.
+	var b strings.Builder
+	_ = r.WritePrometheus(&b)
+	if strings.Contains(b.String(), "/other") {
+		t.Errorf("probe minted a series:\n%s", b.String())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+
+	if _, ok := h.Quantile(0.99); ok {
+		t.Error("empty histogram reported a quantile")
+	}
+
+	// 100 observations uniformly in (0,1]: everything lands in the first
+	// bucket, so p50 interpolates to ~0.5 within [0,1].
+	for i := 0; i < 100; i++ {
+		h.Observe(0.005 * float64(i+1))
+	}
+	if v, ok := h.Quantile(0.5); !ok || v != 0.5 {
+		t.Errorf("p50 = %v,%v, want 0.5", v, ok)
+	}
+	if v, ok := h.Quantile(1); !ok || v != 1 {
+		t.Errorf("p100 = %v,%v, want 1 (upper bound of the occupied bucket)", v, ok)
+	}
+
+	// An observation beyond the last finite bound saturates there.
+	h2 := newHistogram([]float64{1, 2, 4})
+	h2.Observe(100)
+	if v, ok := h2.Quantile(0.99); !ok || v != 4 {
+		t.Errorf("overflow p99 = %v,%v, want saturation at 4", v, ok)
+	}
+
+	// Invalid q.
+	if _, ok := h2.Quantile(0); ok {
+		t.Error("q=0 accepted")
+	}
+	if _, ok := h2.Quantile(1.5); ok {
+		t.Error("q>1 accepted")
 	}
 }

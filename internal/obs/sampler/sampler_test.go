@@ -1,0 +1,171 @@
+package sampler
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// fixedBase keeps the deterministic tests clock-free.
+var fixedBase = time.Unix(1700000000, 0).UTC()
+
+// sampleAt drives the single-writer path directly: deterministic frames
+// without depending on ticker scheduling. The Every: time.Hour configs below
+// park the background ticker so manual samples are the only ones between the
+// initial and final frames.
+func sampleAt(s *Sampler, t time.Time) { s.sample(t) }
+
+func TestSamplerRecordsChangingValues(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := reg.Gauge("vista_pool_used_bytes", "pool", obs.Label{Key: "node", Value: "0"}, obs.Label{Key: "pool", Value: "storage"})
+	g.Set(100)
+	reg.Counter("unrelated_total", "excluded by DefaultMatch").Inc()
+
+	s := Start(Config{Registry: reg, Every: time.Hour})
+	g.Set(250)
+	sampleAt(s, fixedBase.Add(time.Millisecond))
+	g.Set(50)
+	rec := s.Stop()
+
+	if len(rec.Frames) < 3 {
+		t.Fatalf("frames = %d, want >= 3 (initial + manual + final)", len(rec.Frames))
+	}
+	key := `vista_pool_used_bytes{node="0",pool="storage"}`
+	if v, ok := rec.Frames[0].Value(key); !ok || v != 100 {
+		t.Errorf("first frame %s = %v,%v, want 100", key, v, ok)
+	}
+	last := rec.Frames[len(rec.Frames)-1]
+	if v, ok := last.Value(key); !ok || v != 50 {
+		t.Errorf("final frame %s = %v,%v, want 50", key, v, ok)
+	}
+	for _, f := range rec.Frames {
+		if _, ok := f.Value("unrelated_total"); ok {
+			t.Errorf("DefaultMatch leaked unrelated series into frame %v", f)
+		}
+	}
+}
+
+func TestSamplerStageMarkers(t *testing.T) {
+	reg := obs.NewRegistry()
+	root := obs.StartSpanAt("run", fixedBase)
+	s := Start(Config{Registry: reg, Trace: root, Every: time.Hour})
+
+	ing := root.StartChildAt("ingest", fixedBase)
+	sampleAt(s, fixedBase.Add(time.Millisecond))
+	ing.EndAt(fixedBase.Add(2 * time.Millisecond))
+	inf := root.StartChildAt("infer:fc6", fixedBase.Add(2*time.Millisecond))
+	sampleAt(s, fixedBase.Add(3*time.Millisecond))
+	inf.EndAt(fixedBase.Add(4 * time.Millisecond))
+	rec := s.Stop()
+
+	var stages []string
+	for _, f := range rec.Frames {
+		stages = append(stages, f.Stage)
+	}
+	// Frame 0 (taken by Start, before any stage opened) and the final frame
+	// (after every stage closed) must be unmarked; the manual samples must
+	// carry the then-open stage.
+	want := []string{"", "ingest", "infer:fc6", ""}
+	if len(stages) != len(want) {
+		t.Fatalf("stages = %v, want %v", stages, want)
+	}
+	for i := range want {
+		if stages[i] != want[i] {
+			t.Errorf("frame %d stage = %q, want %q", i, stages[i], want[i])
+		}
+	}
+}
+
+func TestSamplerRingOverwrite(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := reg.Counter("vista_engine_tasks_total", "tasks")
+	s := Start(Config{Registry: reg, Every: time.Hour, Capacity: 4})
+	for i := 0; i < 10; i++ {
+		c.Inc()
+		sampleAt(s, fixedBase.Add(time.Duration(i)*time.Millisecond))
+	}
+	rec := s.Stop()
+
+	if len(rec.Frames) != 4 {
+		t.Fatalf("frames = %d, want ring capacity 4", len(rec.Frames))
+	}
+	// 12 total samples (initial + 10 manual + final), 4 retained.
+	if rec.Dropped != 8 {
+		t.Errorf("dropped = %d, want 8", rec.Dropped)
+	}
+	// Retained frames are the newest, in time order.
+	for i := 1; i < len(rec.Frames); i++ {
+		if rec.Frames[i].T.Before(rec.Frames[i-1].T) {
+			t.Errorf("frames out of order: %v then %v", rec.Frames[i-1].T, rec.Frames[i].T)
+		}
+	}
+	if v, _ := rec.Frames[len(rec.Frames)-1].Value("vista_engine_tasks_total"); v != 10 {
+		t.Errorf("newest retained frame counter = %v, want 10", v)
+	}
+}
+
+func TestFrameSum(t *testing.T) {
+	f := Frame{Values: map[string]float64{
+		`vista_pool_used_bytes{node="0",pool="storage"}`: 100,
+		`vista_pool_used_bytes{node="1",pool="storage"}`: 50,
+		`vista_pool_used_bytes{node="0",pool="user"}`:    7,
+		"vista_engine_bytes_spilled_total":               3,
+	}}
+	if got := f.Sum("vista_pool_used_bytes", obs.Label{Key: "pool", Value: "storage"}); got != 150 {
+		t.Errorf("storage sum = %v, want 150", got)
+	}
+	if got := f.Sum("vista_pool_used_bytes"); got != 157 {
+		t.Errorf("family sum = %v, want 157", got)
+	}
+	if got := f.Sum("vista_engine_bytes_spilled_total"); got != 3 {
+		t.Errorf("label-less sum = %v, want 3", got)
+	}
+	// A family sharing a prefix must not match.
+	if got := f.Sum("vista_pool_used"); got != 0 {
+		t.Errorf("prefix-only name matched: %v", got)
+	}
+}
+
+func TestRecordingValueAtAndKeys(t *testing.T) {
+	rec := &Recording{Frames: []Frame{
+		{T: fixedBase, Values: map[string]float64{"a": 1}},
+		{T: fixedBase.Add(10 * time.Millisecond), Values: map[string]float64{"a": 2, "b": 9}},
+		{T: fixedBase.Add(20 * time.Millisecond), Values: map[string]float64{"a": 3}},
+	}}
+	keys := rec.SeriesKeys()
+	if len(keys) != 2 || keys[0] != "a" || keys[1] != "b" {
+		t.Errorf("SeriesKeys = %v, want [a b]", keys)
+	}
+	if v, ok := rec.ValueAt("a", fixedBase.Add(15*time.Millisecond)); !ok || v != 2 {
+		t.Errorf("ValueAt(a, 15ms) = %v,%v, want 2", v, ok)
+	}
+	if v, ok := rec.ValueAt("a", fixedBase.Add(time.Hour)); !ok || v != 3 {
+		t.Errorf("ValueAt(a, +1h) = %v,%v, want 3", v, ok)
+	}
+	if _, ok := rec.ValueAt("a", fixedBase.Add(-time.Second)); ok {
+		t.Error("ValueAt before first frame should miss")
+	}
+	if _, ok := rec.ValueAt("b", fixedBase); ok {
+		t.Error("ValueAt for a key absent from the qualifying frame should miss")
+	}
+}
+
+// TestSamplerLiveLoop exercises the real ticker path end to end: the
+// background goroutine samples concurrently with registry writes.
+func TestSamplerLiveLoop(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := reg.Gauge("vista_pool_used_bytes", "pool", obs.Label{Key: "pool", Value: "storage"})
+	s := Start(Config{Registry: reg, Every: time.Millisecond})
+	for i := 0; i < 25; i++ {
+		g.Set(float64(i))
+		time.Sleep(2 * time.Millisecond)
+	}
+	rec := s.Stop()
+	if len(rec.Frames) < 5 {
+		t.Errorf("live loop recorded %d frames in 50ms at 1ms period, want >= 5", len(rec.Frames))
+	}
+	if rec.Every != time.Millisecond || rec.End.Before(rec.Start) {
+		t.Errorf("recording metadata: every=%v start=%v end=%v", rec.Every, rec.Start, rec.End)
+	}
+}

@@ -66,6 +66,14 @@ func (s *Span) Name() string { return s.name }
 // Start returns the span's start time.
 func (s *Span) Start() time.Time { return s.start }
 
+// EndTime returns the span's end time and whether it has ended. A live
+// sampler uses this to tell the currently-open stage from finished ones.
+func (s *Span) EndTime() (time.Time, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.end, !s.end.IsZero()
+}
+
 // Duration returns the span's elapsed time (up to now if still open).
 func (s *Span) Duration() time.Duration {
 	s.mu.Lock()

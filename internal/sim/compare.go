@@ -28,6 +28,11 @@ type StageComparison struct {
 	Estimated time.Duration
 	// Measured is the span's wall-clock duration.
 	Measured time.Duration
+	// Cached marks a stage served from the feature store: its measured time
+	// is a table attach, not CNN inference, so lining it up against a
+	// cold-run estimate would report meaningless relative error. The render
+	// labels such rows instead of comparing them.
+	Cached bool
 }
 
 // Share returns d's fraction of total, in [0, 1] (0 when total is 0).
@@ -79,6 +84,7 @@ func CompareTrace(r Result, trace *obs.Span) []StageComparison {
 			Stage:     sp.Name(),
 			Estimated: time.Duration(estimate(sp.Name()) * float64(time.Second)),
 			Measured:  sp.Duration(),
+			Cached:    strings.HasPrefix(sp.Name(), "cache:"),
 		}
 	}
 	return out
@@ -100,9 +106,13 @@ func RenderComparison(w io.Writer, comps []StageComparison) {
 	fmt.Fprintf(w, "%-*s  %12s %7s  %12s %7s\n", width, "stage",
 		"est", "est%", "measured", "meas%")
 	for _, c := range comps {
-		fmt.Fprintf(w, "%-*s  %12s %6.1f%%  %12s %6.1f%%\n", width, c.Stage,
+		note := ""
+		if c.Cached {
+			note = "  (cached: feature-store attach, not modeled)"
+		}
+		fmt.Fprintf(w, "%-*s  %12s %6.1f%%  %12s %6.1f%%%s\n", width, c.Stage,
 			formatSec(c.Estimated), 100*share(c.Estimated, estTotal),
-			formatSec(c.Measured), 100*share(c.Measured, measTotal))
+			formatSec(c.Measured), 100*share(c.Measured, measTotal), note)
 	}
 	fmt.Fprintf(w, "%-*s  %12s %7s  %12s %7s\n", width, "total",
 		formatSec(estTotal), "", formatSec(measTotal), "")

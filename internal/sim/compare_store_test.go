@@ -1,0 +1,162 @@
+package sim_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/dataflow"
+	"repro/internal/featurestore"
+	"repro/internal/memory"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// simulateLike builds and runs the simulator on a workload mirroring the real
+// run's shape (rows, feature dims, image bytes), the same construction
+// cmd/vista's -trace report uses.
+func simulateLike(t *testing.T, structRows, imageRows []dataflow.Row, layers, nodes, cores int, memGB float64) sim.Result {
+	t.Helper()
+	var imgBytes int64
+	for i := range imageRows {
+		imgBytes += imageRows[i].MemBytes()
+	}
+	imgBytes /= int64(len(imageRows))
+	wl, err := sim.NewWorkload(sim.WorkloadSpec{
+		ModelName: "tiny-alexnet", NumLayers: layers,
+		Dataset: sim.DatasetSpec{
+			Name: "foods", Rows: len(structRows),
+			StructDim:     len(structRows[0].Structured),
+			ImageRowBytes: imgBytes,
+		},
+		PlanKind: 0, Placement: 0, // Staged/AJ defaults
+		Nodes: nodes, CPUSys: cores, MemSys: memory.GB(memGB),
+	})
+	if err != nil {
+		t.Fatalf("NewWorkload: %v", err)
+	}
+	cfg, err := sim.VistaConfig(wl)
+	if err != nil {
+		t.Fatalf("VistaConfig: %v", err)
+	}
+	prof := sim.PaperCluster().WithNodes(nodes)
+	prof.MemPerNode = memory.GB(memGB)
+	return sim.Run(wl, cfg, prof)
+}
+
+// TestCompareAgainstFeatureStoreRun validates both comparisons against real
+// executions: a cold staged run (every stage live, sampled series populated)
+// and a warm rerun whose inference stages attach from the feature store —
+// those must surface as labeled Cached rows, not as huge relative errors.
+func TestCompareAgainstFeatureStoreRun(t *testing.T) {
+	structRows, imageRows, err := data.Generate(data.Foods().WithRows(100))
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	store, err := featurestore.Open(t.TempDir(), memory.MB(64))
+	if err != nil {
+		t.Fatalf("open store: %v", err)
+	}
+	defer store.Close()
+	spec := core.Spec{
+		Nodes: 2, CoresPerNode: 2, MemPerNode: memory.GB(32),
+		SystemKind: memory.SparkLike,
+		ModelName:  "tiny-alexnet", NumLayers: 2,
+		Downstream: core.DefaultDownstream(),
+		StructRows: structRows, ImageRows: imageRows, Seed: 1,
+		FeatureStore: store,
+		Metrics:      obs.NewRegistry(),
+		SampleEvery:  time.Millisecond,
+	}
+	cold, err := core.Run(spec)
+	if err != nil {
+		t.Fatalf("cold run: %v", err)
+	}
+	warm, err := core.Run(spec)
+	if err != nil {
+		t.Fatalf("warm run: %v", err)
+	}
+	if warm.Cache.StagesFromCache == 0 {
+		t.Fatalf("warm run hit no cache: %+v", warm.Cache)
+	}
+	simRes := simulateLike(t, structRows, imageRows, 2, 2, 2, 32)
+	if simRes.Crash != nil {
+		t.Fatalf("simulated run crashed: %v", simRes.Crash)
+	}
+
+	// CompareTrace on the warm run: every feature-store attach is flagged
+	// Cached with a zero estimate, and the render labels it.
+	comps := sim.CompareTrace(simRes, warm.Trace)
+	var cachedRows int
+	for _, c := range comps {
+		if strings.HasPrefix(c.Stage, "cache:") {
+			cachedRows++
+			if !c.Cached {
+				t.Errorf("%s not flagged Cached", c.Stage)
+			}
+			if c.Estimated != 0 {
+				t.Errorf("%s estimated %v, want 0 (simulator runs cold)", c.Stage, c.Estimated)
+			}
+			if c.Measured <= 0 {
+				t.Errorf("%s lost its measurement", c.Stage)
+			}
+		} else if c.Cached {
+			t.Errorf("%s flagged Cached without a cache: label", c.Stage)
+		}
+	}
+	if cachedRows != warm.Cache.StagesFromCache {
+		t.Errorf("cached rows = %d, want %d", cachedRows, warm.Cache.StagesFromCache)
+	}
+	var b strings.Builder
+	sim.RenderComparison(&b, comps)
+	if !strings.Contains(b.String(), "(cached: feature-store attach, not modeled)") {
+		t.Errorf("render missing the cached label:\n%s", b.String())
+	}
+
+	// CompareSeries on the cold staged run: per-stage predicted vs sampled
+	// peak storage occupancy, with real frames behind the measurements.
+	if cold.Series == nil || len(cold.Series.Frames) < 2 {
+		t.Fatalf("cold run recorded no series")
+	}
+	rep := sim.CompareSeries(simRes, cold.Trace, cold.Series)
+	if len(rep.Stages) != len(cold.Trace.Children()) {
+		t.Fatalf("series report covers %d stages, trace has %d",
+			len(rep.Stages), len(cold.Trace.Children()))
+	}
+	var inferRows, framesSeen int
+	for _, s := range rep.Stages {
+		framesSeen += s.Frames
+		if strings.HasPrefix(s.Stage, "infer:") {
+			inferRows++
+			if s.PredStorageBytes <= 0 {
+				t.Errorf("%s has no storage prediction", s.Stage)
+			}
+		}
+	}
+	if inferRows == 0 {
+		t.Error("cold staged run produced no infer stages")
+	}
+	if framesSeen == 0 {
+		t.Error("no sampled frames fell inside any stage window")
+	}
+	if rep.MeasPeakStorageBytes <= 0 {
+		t.Errorf("sampled peak storage = %d, want > 0", rep.MeasPeakStorageBytes)
+	}
+	if rep.PredPeakStorageBytes <= 0 {
+		t.Errorf("predicted peak storage = %d, want > 0", rep.PredPeakStorageBytes)
+	}
+	// The warm run's series report flags the cached stages.
+	warmRep := sim.CompareSeries(simRes, warm.Trace, warm.Series)
+	var flagged int
+	for _, s := range warmRep.Stages {
+		if s.Cached {
+			flagged++
+		}
+	}
+	if flagged != warm.Cache.StagesFromCache {
+		t.Errorf("warm series report flags %d cached stages, want %d",
+			flagged, warm.Cache.StagesFromCache)
+	}
+}

@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs/sampler"
+)
+
+const testMB = 1 << 20
+
+// simulatedWithStorage extends the shared fixture with the memory-model
+// fields CompareSeries reads.
+func simulatedWithStorage() Result {
+	r := simulated()
+	r.BaseStorageBytes = 1 * testMB
+	r.StorageCapBytes = 16 * testMB
+	r.Layers[0].LiveStorageBytes = 4 * testMB
+	r.Layers[0].SpilledBytes = 1 * testMB
+	r.Layers[1].LiveStorageBytes = 2 * testMB
+	return r
+}
+
+// measuredRecording builds frames aligned with measuredTrace's stage windows:
+// two storage-pool gauges (summed across nodes) and a cumulative spill
+// counter that jumps by 1 MiB mid-infer.
+func measuredRecording() *sampler.Recording {
+	t0 := time.Unix(0, 0)
+	frame := func(ms int, stage string, poolMB0, poolMB1, spillMB float64) sampler.Frame {
+		return sampler.Frame{
+			T: t0.Add(time.Duration(ms) * time.Millisecond), Stage: stage,
+			Values: map[string]float64{
+				`vista_pool_used_bytes{node="0",pool="storage"}`: poolMB0 * testMB,
+				`vista_pool_used_bytes{node="1",pool="storage"}`: poolMB1 * testMB,
+				`vista_pool_used_bytes{node="0",pool="user"}`:    64 * testMB, // must not count
+				"vista_engine_bytes_spilled_total":               spillMB * testMB,
+			},
+		}
+	}
+	return &sampler.Recording{
+		Every: 10 * time.Millisecond,
+		Start: t0, End: t0.Add(900 * time.Millisecond),
+		Frames: []sampler.Frame{
+			frame(50, "ingest", 0.5, 0.4, 0),
+			frame(120, "join", 0.6, 0.5, 0),
+			frame(200, "infer:fc6", 1.5, 1.5, 0),
+			frame(400, "infer:fc6", 2.5, 2.0, 1),
+			frame(700, "train:fc6", 2.0, 2.0, 1),
+			frame(860, "cache:fc7", 1.0, 1.0, 1),
+		},
+	}
+}
+
+func TestCompareSeries(t *testing.T) {
+	rep := CompareSeries(simulatedWithStorage(), measuredTrace(), measuredRecording())
+	if len(rep.Stages) != 5 {
+		t.Fatalf("got %d stages, want 5", len(rep.Stages))
+	}
+	want := []struct {
+		stage              string
+		cached             bool
+		frames             int
+		predMB, measPeakMB float64
+		predSpillMB        float64
+		measSpillMB        float64
+	}{
+		{"ingest", false, 1, 1, 0.9, 0, 0},
+		{"join", false, 1, 1, 1.1, 0, 0},
+		{"infer:fc6", false, 2, 4, 4.5, 1, 1},
+		{"train:fc6", false, 1, 4, 4.0, 0, 0},
+		{"cache:fc7", true, 1, 2, 2.0, 0, 0},
+	}
+	for i, w := range want {
+		s := rep.Stages[i]
+		if s.Stage != w.stage || s.Cached != w.cached || s.Frames != w.frames {
+			t.Errorf("row %d = %q cached=%v frames=%d, want %q/%v/%d",
+				i, s.Stage, s.Cached, s.Frames, w.stage, w.cached, w.frames)
+		}
+		if s.PredStorageBytes != int64(w.predMB*testMB) {
+			t.Errorf("%s pred storage = %d, want %v MiB", w.stage, s.PredStorageBytes, w.predMB)
+		}
+		if s.MeasPeakStorageBytes != int64(w.measPeakMB*testMB) {
+			t.Errorf("%s meas peak = %d, want %v MiB", w.stage, s.MeasPeakStorageBytes, w.measPeakMB)
+		}
+		if s.PredSpillBytes != int64(w.predSpillMB*testMB) {
+			t.Errorf("%s pred spill = %d, want %v MiB", w.stage, s.PredSpillBytes, w.predSpillMB)
+		}
+		if s.MeasSpillBytes != int64(w.measSpillMB*testMB) {
+			t.Errorf("%s meas spill = %d, want %v MiB", w.stage, s.MeasSpillBytes, w.measSpillMB)
+		}
+	}
+	if rep.PredPeakStorageBytes != 4*testMB || rep.MeasPeakStorageBytes != int64(4.5*testMB) {
+		t.Errorf("run peaks = %d/%d, want 4 MiB / 4.5 MiB",
+			rep.PredPeakStorageBytes, rep.MeasPeakStorageBytes)
+	}
+	if rep.PredSpillBytes != 1*testMB || rep.MeasSpillBytes != 1*testMB {
+		t.Errorf("run spill = %d/%d, want 1 MiB both", rep.PredSpillBytes, rep.MeasSpillBytes)
+	}
+}
+
+func TestCompareSeriesCrashedSim(t *testing.T) {
+	r := simulatedWithStorage()
+	r.Crash = errors.New("storage exhausted")
+	rep := CompareSeries(r, measuredTrace(), measuredRecording())
+	for _, s := range rep.Stages {
+		if s.PredStorageBytes != 0 || s.PredSpillBytes != 0 {
+			t.Errorf("%s predicted %d/%d on a crashed sim", s.Stage, s.PredStorageBytes, s.PredSpillBytes)
+		}
+	}
+	// Measurements survive the crash.
+	if rep.MeasPeakStorageBytes == 0 || rep.MeasSpillBytes == 0 {
+		t.Errorf("measurements lost: peak=%d spill=%d", rep.MeasPeakStorageBytes, rep.MeasSpillBytes)
+	}
+}
+
+func TestCompareSeriesEmptyWindow(t *testing.T) {
+	// A stage shorter than the sample period catches no frames: unknown, not
+	// zero.
+	rec := measuredRecording()
+	rec.Frames = rec.Frames[:1] // only the ingest frame remains
+	rep := CompareSeries(simulatedWithStorage(), measuredTrace(), rec)
+	for _, s := range rep.Stages[1:] {
+		if s.Frames != 0 {
+			t.Errorf("%s caught %d frames, want 0", s.Stage, s.Frames)
+		}
+	}
+	var b strings.Builder
+	RenderSeriesReport(&b, rep)
+	for _, line := range strings.Split(b.String(), "\n") {
+		if strings.HasPrefix(line, "join") && !strings.Contains(line, "-") {
+			t.Errorf("frameless stage should render '-' measurements: %q", line)
+		}
+	}
+}
+
+func TestRenderSeriesReport(t *testing.T) {
+	var b strings.Builder
+	RenderSeriesReport(&b, CompareSeries(simulatedWithStorage(), measuredTrace(), measuredRecording()))
+	out := b.String()
+	for _, want := range []string{
+		"stage", "frames", "est peak", "meas peak", "est spill", "meas spill",
+		"infer:fc6", "4.0 MB", "4.5 MB", // infer row: prediction and sampled peak
+		"(peak drift 1.12x)", // 4.5/4.0
+		"(cached)",           // the cache:fc7 row is labeled, not compared
+		"total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered report missing %q:\n%s", want, out)
+		}
+	}
+}

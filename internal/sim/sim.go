@@ -58,6 +58,13 @@ type LayerCost struct {
 	JoinSec float64
 	// SpillSec is disk-spill I/O attributed to this layer's stage.
 	SpillSec float64
+	// LiveStorageBytes is the predicted cluster-wide storage-pool occupancy
+	// while this layer's table is live, capped at the storage budget — the
+	// quantity a sampled vista_pool_used_bytes{pool="storage"} gauge should
+	// track (CompareSeries reads it).
+	LiveStorageBytes int64
+	// SpilledBytes is the spill volume attributed to this layer's stage.
+	SpilledBytes int64
 }
 
 // Total returns the layer's total seconds.
@@ -81,6 +88,13 @@ type Result struct {
 	SpilledBytes int64
 	// PeakStoragePerNode is the high-water cached footprint per worker.
 	PeakStoragePerNode int64
+	// BaseStorageBytes is the stored footprint of the base tables — the
+	// cluster-wide storage occupancy predicted while the up-front join (AJ)
+	// holds both inputs, before any layer table exists.
+	BaseStorageBytes int64
+	// StorageCapBytes is the cluster-wide storage budget under the
+	// configuration (occupancy predictions are capped at it).
+	StorageCapBytes int64
 }
 
 // TotalSec returns the run's total simulated seconds.
@@ -343,6 +357,8 @@ func Run(w Workload, cfg Config, prof Profile) Result {
 		scanRate *= 0.85 // decompression tax on scans
 	}
 	storageCap := float64(cfg.Apportion.Storage) * nodes
+	res.StorageCapBytes = int64(storageCap)
+	res.BaseStorageBytes = int64(math.Min(m.stored(m.base), storageCap))
 
 	layerIdx := 0
 	for stepIdx, step := range w.Plan.Steps {
@@ -379,8 +395,10 @@ func Run(w Workload, cfg Config, prof Profile) Result {
 			live := m.liveBytes(li)
 			if over := live - storageCap; over > 0 {
 				res.SpilledBytes += int64(over)
+				lc.SpilledBytes = int64(over)
 				lc.SpillSec = 2 * over / (nodes * prof.SpillMBps * mb)
 			}
+			lc.LiveStorageBytes = int64(math.Min(live, storageCap))
 			if pn := int64(math.Min(live, storageCap) / nodes); pn > res.PeakStoragePerNode {
 				res.PeakStoragePerNode = pn
 			}
@@ -407,8 +425,9 @@ func Run(w Workload, cfg Config, prof Profile) Result {
 		li := w.Plan.PreMaterializedBase
 		l := w.Plan.Layers[li]
 		lc := LayerCost{
-			Layer:         l.Name,
-			TrainFirstSec: m.stored(m.tableBytes[li])/(nodes*scanRate*mb) + taskSec(1),
+			Layer:            l.Name,
+			TrainFirstSec:    m.stored(m.tableBytes[li])/(nodes*scanRate*mb) + taskSec(1),
+			LiveStorageBytes: int64(math.Min(m.stored(m.tableBytes[li]), storageCap)),
 		}
 		if w.TrainIters > 1 {
 			lc.TrainRestSec = float64(w.TrainIters-1) * (m.pooledBytes[li] / (nodes * prof.ScanMBps * mb * 4))

@@ -34,6 +34,14 @@ go test -race -short -count=1 ./internal/chaos
 echo "== chaos: full schedule set =="
 go test -count=1 ./internal/chaos
 
+echo "== trace/timeseries export smoke =="
+obs_tmp=$(mktemp -d)
+go run ./cmd/vista -rows 200 -layers 2 \
+    -trace-out "$obs_tmp/trace.json" -timeseries-out "$obs_tmp/series.csv" \
+    >"$obs_tmp/stdout.txt" 2>"$obs_tmp/stderr.txt"
+go run ./scripts/tracecheck -trace "$obs_tmp/trace.json" -timeseries "$obs_tmp/series.csv"
+rm -rf "$obs_tmp"
+
 echo "== bench smoke (BENCH_SHORT=1) =="
 bench_out=$(mktemp)
 BENCH_SHORT=1 scripts/bench.sh "$bench_out"

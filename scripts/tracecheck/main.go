@@ -1,0 +1,122 @@
+// Command tracecheck validates the CLI's observability exports in CI: the
+// Chrome trace file must decode as trace-event JSON with a non-empty
+// traceEvents array containing complete ("X") span events, and the sampled
+// time-series CSV must carry the expected header and monotonically
+// non-decreasing unix_ns timestamps.
+//
+// Usage:
+//
+//	go run ./scripts/tracecheck -trace /tmp/t.json -timeseries /tmp/s.csv
+//
+// Either flag may be omitted; tracecheck validates what it is given and exits
+// non-zero on the first violation.
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+)
+
+func main() {
+	tracePath := flag.String("trace", "", "Chrome trace-event JSON file to validate")
+	seriesPath := flag.String("timeseries", "", "time-series CSV file to validate")
+	flag.Parse()
+
+	if *tracePath == "" && *seriesPath == "" {
+		fmt.Fprintln(os.Stderr, "tracecheck: nothing to check (pass -trace and/or -timeseries)")
+		os.Exit(2)
+	}
+	if *tracePath != "" {
+		if err := checkTrace(*tracePath); err != nil {
+			fmt.Fprintln(os.Stderr, "tracecheck:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace ok: %s\n", *tracePath)
+	}
+	if *seriesPath != "" {
+		if err := checkTimeseriesCSV(*seriesPath); err != nil {
+			fmt.Fprintln(os.Stderr, "tracecheck:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("timeseries ok: %s\n", *seriesPath)
+	}
+}
+
+func checkTrace(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Ts   int64  `json:"ts"`
+			Dur  int64  `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return fmt.Errorf("%s: not valid trace JSON: %w", path, err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return fmt.Errorf("%s: traceEvents is empty", path)
+	}
+	var spans int
+	for i, ev := range doc.TraceEvents {
+		if ev.Name == "" {
+			return fmt.Errorf("%s: event %d has no name", path, i)
+		}
+		if ev.Ts < 0 || ev.Dur < 0 {
+			return fmt.Errorf("%s: event %d (%s) has negative ts/dur", path, i, ev.Name)
+		}
+		if ev.Ph == "X" {
+			spans++
+		}
+	}
+	if spans == 0 {
+		return fmt.Errorf("%s: no complete (X) span events", path)
+	}
+	return nil
+}
+
+func checkTimeseriesCSV(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	header, err := r.Read()
+	if err != nil {
+		return fmt.Errorf("%s: no CSV header: %w", path, err)
+	}
+	if len(header) < 2 || header[0] != "unix_ns" || header[1] != "stage" {
+		return fmt.Errorf("%s: bad header %v, want [unix_ns stage ...]", path, header)
+	}
+	var prev int64
+	var rows int
+	for {
+		rec, err := r.Read()
+		if err != nil {
+			break
+		}
+		rows++
+		ns, err := strconv.ParseInt(rec[0], 10, 64)
+		if err != nil {
+			return fmt.Errorf("%s: row %d: bad unix_ns %q", path, rows, rec[0])
+		}
+		if ns < prev {
+			return fmt.Errorf("%s: row %d: timestamps not monotone (%d < %d)", path, rows, ns, prev)
+		}
+		prev = ns
+	}
+	if rows < 2 {
+		return fmt.Errorf("%s: %d data rows, want >= 2 (initial + final sample)", path, rows)
+	}
+	return nil
+}
