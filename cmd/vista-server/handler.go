@@ -6,16 +6,17 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/cnn"
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/featurestore"
 	"repro/internal/memory"
 	"repro/internal/obs"
-	"repro/internal/obs/sampler"
 	"repro/internal/optimizer"
 	"repro/internal/plan"
 	"repro/internal/sim"
@@ -103,10 +104,19 @@ func toDecisionJSON(d optimizer.Decision) decisionJSON {
 // api is the service's process-wide state: the shared feature store (so
 // repeated /run and /simulate requests on the same dataset+CNN reuse
 // features across HTTP calls), the metrics registry behind GET /metrics,
-// and the content addresses of past runs.
+// the admission controller gating concurrent /run execution, the retained
+// run artifacts, and the content addresses of past runs.
 type api struct {
 	store   *featurestore.Store // nil = caching disabled
 	metrics *obs.Registry
+	// admit gates concurrent /run execution against a memory budget; nil
+	// admits everything (admission disabled).
+	admit *admission.Controller
+	// queueTimeout sizes the Retry-After hint on 429 responses.
+	queueTimeout time.Duration
+	// runs retains recent runs' traces and time series for /trace and
+	// /timeseries lookups by run ID.
+	runs *runRing
 	// sloP99 is the per-endpoint p99 latency bound (seconds) that
 	// /healthz?slo=1 enforces.
 	sloP99 float64
@@ -118,11 +128,6 @@ type api struct {
 	// address, so /simulate can probe the store for workloads /run has
 	// materialized.
 	runKeys map[string]runKey
-	// lastTrace/lastSeries hold the most recent successful /run's span tree
-	// and sampled time series, served by GET /trace/{format} and
-	// GET /timeseries.
-	lastTrace  *obs.Span
-	lastSeries *sampler.Recording
 }
 
 // runKey is the store's content-address pair for one workload.
@@ -139,21 +144,79 @@ func workloadKey(req *workloadRequest) string {
 // because /run executes a real workload in-process.
 const defaultSLOP99 = 60.0
 
+// defaultRunHistory is how many completed runs' traces and time series the
+// server retains for /trace and /timeseries lookups.
+const defaultRunHistory = 16
+
+// serverConfig assembles everything an api instance needs. The zero value
+// of every field is valid: nil store disables caching, zero budget disables
+// admission, and sloP99 is taken literally (0 = every observed request
+// violates the bound — callers wanting the default pass defaultSLOP99).
+type serverConfig struct {
+	store  *featurestore.Store
+	sloP99 float64
+	// memBudgetBytes caps the summed admission price of concurrent /run
+	// requests (0 = admission disabled).
+	memBudgetBytes int64
+	// queueDepth bounds how many /run requests may wait for budget.
+	queueDepth int
+	// queueTimeout bounds how long one /run request may wait.
+	queueTimeout time.Duration
+	// runHistory is how many completed runs /trace and /timeseries retain
+	// (0 = defaultRunHistory).
+	runHistory int
+}
+
 // newHandler builds the service mux around a shared feature store (nil
-// disables cross-run caching), with the default latency SLO.
+// disables cross-run caching), with the default latency SLO and no
+// admission budget.
 func newHandler(store *featurestore.Store) http.Handler {
-	return newHandlerSLO(store, defaultSLOP99)
+	return newAPI(serverConfig{store: store, sloP99: defaultSLOP99}).handler()
 }
 
 // newHandlerSLO is newHandler with an explicit p99 latency bound (seconds)
-// for /healthz?slo=1. Every route is instrumented with latency and
-// status-code series, served alongside engine/store series on GET /metrics.
+// for /healthz?slo=1.
 func newHandlerSLO(store *featurestore.Store, sloP99 float64) http.Handler {
-	a := &api{store: store, metrics: obs.NewRegistry(), sloP99: sloP99,
-		runKeys: make(map[string]runKey)}
-	if store != nil {
-		store.RegisterMetrics(a.metrics)
+	return newAPI(serverConfig{store: store, sloP99: sloP99}).handler()
+}
+
+// newAPI builds the service state from cfg.
+func newAPI(cfg serverConfig) *api {
+	if cfg.runHistory <= 0 {
+		cfg.runHistory = defaultRunHistory
 	}
+	a := &api{
+		store:        cfg.store,
+		metrics:      obs.NewRegistry(),
+		sloP99:       cfg.sloP99,
+		queueTimeout: cfg.queueTimeout,
+		runs:         newRunRing(cfg.runHistory),
+		runKeys:      make(map[string]runKey),
+	}
+	if cfg.memBudgetBytes > 0 {
+		ctrl, err := admission.New(admission.Config{
+			BudgetBytes:  cfg.memBudgetBytes,
+			QueueDepth:   cfg.queueDepth,
+			QueueTimeout: cfg.queueTimeout,
+			Metrics:      a.metrics,
+		})
+		if err != nil {
+			// Unreachable with a positive budget and the flag-validated
+			// depth, but fail closed rather than silently unbounded.
+			panic(err)
+		}
+		a.admit = ctrl
+	}
+	if a.store != nil {
+		a.store.RegisterMetrics(a.metrics)
+	}
+	return a
+}
+
+// handler wires the api's routes into an instrumented mux: every route gets
+// latency and status-code series, served alongside engine/store series on
+// GET /metrics.
+func (a *api) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", a.handleHealthz)
 	mux.HandleFunc("GET /metrics", a.handleMetrics)
@@ -399,22 +462,22 @@ func (a *api) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("rows %d exceeds the real-execution cap %d", req.Rows, maxRunRows))
 		return
 	}
-	var spec data.Spec
+	var dataSpec data.Spec
 	switch req.Dataset {
 	case "foods":
-		spec = data.Foods()
+		dataSpec = data.Foods()
 	case "amazon":
-		spec = data.Amazon()
+		dataSpec = data.Amazon()
 	default:
 		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown dataset %q", req.Dataset))
 		return
 	}
-	structRows, imageRows, err := data.Generate(spec.WithRows(req.Rows))
+	structRows, imageRows, err := data.Generate(dataSpec.WithRows(req.Rows))
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	res, err := core.Run(core.Spec{
+	spec := core.Spec{
 		Nodes: req.Nodes, CoresPerNode: req.Cores,
 		MemPerNode: memory.GB(req.MemGB),
 		SystemKind: memory.SparkLike,
@@ -425,8 +488,32 @@ func (a *api) handleRun(w http.ResponseWriter, r *http.Request) {
 		FeatureStore: a.store,
 		Metrics:      a.metrics,
 		SampleEvery:  runSampleEvery,
-	})
+	}
+
+	// Admission: price the run with the optimizer's memory model and hold
+	// the charge for the run's whole lifetime. An unpriceable spec skips
+	// admission — the run itself will fail identically below, holding no
+	// engine memory.
+	if a.admit != nil {
+		if price, perr := core.Price(spec); perr == nil {
+			grant, aerr := a.admit.Admit(r.Context(), price)
+			if aerr != nil {
+				a.writeAdmissionError(w, aerr)
+				return
+			}
+			defer grant.Release()
+		}
+	}
+
+	seq, runID := a.runs.begin()
+	res, err := core.RunContext(r.Context(), spec)
 	if err != nil {
+		if r.Context().Err() != nil {
+			// The client is gone; nobody reads this response. Surface a 499
+			// in the status-code series rather than a fake success.
+			w.WriteHeader(statusClientClosedRequest)
+			return
+		}
 		if oom, ok := memory.IsOOM(err); ok {
 			writeJSON(w, http.StatusOK, map[string]any{"crashed": true, "crash": oom.Error()})
 			return
@@ -451,14 +538,38 @@ func (a *api) handleRun(w http.ResponseWriter, r *http.Request) {
 			weightsSum: res.Cache.WeightsSum, dataSum: res.Cache.DataSum,
 		}
 	}
-	a.lastTrace = res.Trace
-	a.lastSeries = res.Series
 	a.mu.Unlock()
+	a.runs.complete(seq, res.Trace, res.Series)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"crashed":    false,
+		"run_id":     runID,
 		"decision":   toDecisionJSON(res.Decision),
 		"layers":     layers,
 		"elapsed_ms": res.Elapsed.Milliseconds(),
 		"cache":      res.Cache,
 	})
+}
+
+// statusClientClosedRequest is nginx's conventional code for "the client
+// cancelled before a response was written" — never seen by a live client,
+// but it keeps the vista_http_requests_total code label honest.
+const statusClientClosedRequest = 499
+
+// writeAdmissionError maps admission failures onto HTTP: a queue deadline is
+// retryable (429 + Retry-After), while a full queue or an unpayable price is
+// plain overload (503). A cancelled wait gets the 499 treatment above.
+func (a *api) writeAdmissionError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, admission.ErrDeadline):
+		retry := int64(1)
+		if s := int64(a.queueTimeout / time.Second); s > retry {
+			retry = s
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(retry, 10))
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, admission.ErrQueueFull), errors.Is(err, admission.ErrOversize):
+		writeError(w, http.StatusServiceUnavailable, err)
+	default: // context cancellation while queued: the client is gone
+		w.WriteHeader(statusClientClosedRequest)
+	}
 }

@@ -4,13 +4,17 @@
 //	GET  /healthz              liveness probe (?slo=1 degrades to 503 when any
 //	                           endpoint's p99 latency exceeds -slo-p99)
 //	GET  /metrics              Prometheus text exposition (engine, pools,
-//	                           feature store, per-endpoint HTTP series)
+//	                           feature store, admission, per-endpoint HTTP
+//	                           series)
 //	GET  /roster               the CNN roster with derived statistics
 //	GET  /featurestore         feature-store counters (hits, misses, bytes)
-//	GET  /trace/{format}       the last /run's trace: chrome (Perfetto
-//	                           loadable) or otlp (OTLP-style JSON spans)
-//	GET  /timeseries           the last /run's sampled time series
-//	                           (?format=csv for CSV, JSON otherwise)
+//	GET  /trace/{format}       a completed /run's trace: chrome (Perfetto
+//	                           loadable) or otlp (OTLP-style JSON spans);
+//	                           ?run=ID selects a retained run (default: the
+//	                           most recent)
+//	GET  /timeseries           a completed /run's sampled time series
+//	                           (?format=csv for CSV, JSON otherwise; ?run=ID
+//	                           as above)
 //	POST /explain              optimizer decision + size analysis (no execution)
 //	POST /simulate             predicted runtime on a calibrated cluster profile
 //	POST /run                  real tiny-scale execution with per-layer metrics
@@ -18,6 +22,15 @@
 // The server holds one process-wide feature store, so repeated /run requests
 // on the same dataset+CNN reuse materialized features, and /simulate prices
 // cached layers at store-I/O cost instead of CNN inference.
+//
+// Concurrent /run requests are gated by memory-aware admission control
+// (-mem-budget): each run is priced with the optimizer's memory model and
+// admitted only while the summed price of in-flight runs fits the budget.
+// Runs that do not fit wait in a bounded FIFO queue (-queue-depth,
+// -queue-timeout); a timed-out wait gets 429 + Retry-After and a full queue
+// gets 503. Cancelled client connections abort their run mid-stage and
+// return the whole reservation. See docs/OPERATIONS.md for the full
+// operator guide.
 //
 // Example:
 //
@@ -52,7 +65,19 @@ func main() {
 		"feature store byte budget in MiB (0 disables cross-run feature reuse)")
 	sloP99 := flag.Float64("slo-p99", defaultSLOP99,
 		"per-endpoint p99 latency bound in seconds, enforced by /healthz?slo=1")
+	memBudget := flag.Int64("mem-budget", 256<<10,
+		"admission budget in MiB of modeled workload memory across concurrent /run requests (0 disables admission control)")
+	queueDepth := flag.Int("queue-depth", 16,
+		"how many /run requests may queue for admission budget before 503s")
+	queueTimeout := flag.Duration("queue-timeout", 30*time.Second,
+		"how long one /run request may queue before a 429 with Retry-After")
+	runHistory := flag.Int("run-history", defaultRunHistory,
+		"how many completed runs /trace and /timeseries retain")
 	flag.Parse()
+	if *memBudget < 0 || *queueDepth < 0 || *queueTimeout < 0 || *runHistory < 0 {
+		fmt.Fprintln(os.Stderr, "vista-server: -mem-budget, -queue-depth, -queue-timeout, and -run-history must be >= 0")
+		os.Exit(2)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -78,7 +103,19 @@ func main() {
 		log.Printf("feature store at %s (budget %d MiB)", dir, *cacheMB)
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: newHandlerSLO(store, *sloP99)}
+	handler := newAPI(serverConfig{
+		store:          store,
+		sloP99:         *sloP99,
+		memBudgetBytes: *memBudget << 20,
+		queueDepth:     *queueDepth,
+		queueTimeout:   *queueTimeout,
+		runHistory:     *runHistory,
+	}).handler()
+	if *memBudget > 0 {
+		log.Printf("admission control: budget %d MiB, queue depth %d, queue timeout %s",
+			*memBudget, *queueDepth, *queueTimeout)
+	}
+	srv := &http.Server{Addr: *addr, Handler: handler}
 	log.Printf("vista-server listening on %s", *addr)
 	if err := serve(ctx, srv); err != nil {
 		fmt.Fprintln(os.Stderr, "vista-server:", err)

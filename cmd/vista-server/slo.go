@@ -37,10 +37,29 @@ func CheckSLO(reg *obs.Registry, path string, p99Bound float64) (st SLOStatus, f
 	return st, true
 }
 
+// CheckQueueWaitSLO evaluates the admission queue-wait p99 against the same
+// bound the endpoint sweep uses, reading vista_admission_queue_wait_seconds.
+// Like CheckSLO, an idle controller (no requests observed) passes vacuously.
+func CheckQueueWaitSLO(reg *obs.Registry, p99Bound float64) (st SLOStatus, found bool) {
+	st = SLOStatus{Path: "admission-queue", BoundSeconds: p99Bound, OK: true}
+	h := reg.FindHistogram("vista_admission_queue_wait_seconds")
+	if h == nil {
+		return st, false
+	}
+	p99, ok := h.Quantile(0.99)
+	if !ok {
+		return st, false
+	}
+	st.P99Seconds = p99
+	st.OK = p99 <= p99Bound
+	return st, true
+}
+
 // handleHealthz is the liveness probe. Plain GET /healthz always reports ok;
 // GET /healthz?slo=1 additionally sweeps every instrumented endpoint's p99
-// latency against the configured bound and degrades to 503 when any endpoint
-// violates it — a scrape-free hook for external health checkers.
+// latency — plus the admission queue wait, when admission control is on —
+// against the configured bound and degrades to 503 when anything violates
+// it — a scrape-free hook for external health checkers.
 func (a *api) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Query().Get("slo") == "" {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -55,6 +74,14 @@ func (a *api) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		checked = append(checked, st)
 		if !st.OK {
 			violations = append(violations, st)
+		}
+	}
+	if a.admit != nil {
+		if st, found := CheckQueueWaitSLO(a.metrics, a.sloP99); found {
+			checked = append(checked, st)
+			if !st.OK {
+				violations = append(violations, st)
+			}
 		}
 	}
 	status, verdict := http.StatusOK, "ok"

@@ -5,54 +5,71 @@ import (
 	"net/http"
 	"strings"
 
-	"repro/internal/obs"
 	"repro/internal/obs/export"
-	"repro/internal/obs/sampler"
 )
 
-// lastRun returns the most recent successful /run's trace and recording.
-func (a *api) lastRun() (*obs.Span, *sampler.Recording) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.lastTrace, a.lastSeries
+// lookupRun resolves the ?run=ID query parameter against the retained run
+// ring: no parameter means the most recent completed run. It writes the 404
+// (listing the IDs still retained) itself and returns nil when nothing
+// matches.
+func (a *api) lookupRun(w http.ResponseWriter, r *http.Request) *runRecord {
+	if id := r.URL.Query().Get("run"); id != "" {
+		rec := a.runs.get(id)
+		if rec == nil {
+			writeJSON(w, http.StatusNotFound, map[string]any{
+				"error":    fmt.Sprintf("run %q not retained (the ring keeps the newest %d completed runs)", id, a.runs.cap),
+				"retained": a.runs.ids(),
+			})
+		}
+		return rec
+	}
+	rec := a.runs.latest()
+	if rec == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no run completed yet (POST /run first)"))
+	}
+	return rec
 }
 
-// handleTrace serves the last /run's span tree as a downloadable trace file:
-// GET /trace/chrome (chrome://tracing / Perfetto loadable, with sampled
-// counter tracks) or GET /trace/otlp (OTLP-style JSON spans).
+// handleTrace serves a completed /run's span tree as a downloadable trace
+// file: GET /trace/chrome (chrome://tracing / Perfetto loadable, with
+// sampled counter tracks) or GET /trace/otlp (OTLP-style JSON spans).
+// ?run=ID selects a retained run; default is the most recent.
 func (a *api) handleTrace(w http.ResponseWriter, r *http.Request) {
-	trace, series := a.lastRun()
-	if trace == nil {
-		writeError(w, http.StatusNotFound, fmt.Errorf("no run traced yet (POST /run first)"))
+	rec := a.lookupRun(w, r)
+	if rec == nil {
 		return
 	}
 	switch format := r.PathValue("format"); format {
 	case "chrome":
 		w.Header().Set("Content-Type", "application/json")
-		_ = export.WriteChromeTrace(w, trace, series)
+		_ = export.WriteChromeTrace(w, rec.trace, rec.series)
 	case "otlp":
 		w.Header().Set("Content-Type", "application/json")
-		_ = export.WriteOTLP(w, trace)
+		_ = export.WriteOTLP(w, rec.trace)
 	default:
 		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown trace format %q (chrome or otlp)", format))
 	}
 }
 
-// handleTimeseries serves the last /run's sampled time series: JSON by
-// default, CSV with ?format=csv.
+// handleTimeseries serves a completed /run's sampled time series: JSON by
+// default, CSV with ?format=csv. ?run=ID selects a retained run; default is
+// the most recent.
 func (a *api) handleTimeseries(w http.ResponseWriter, r *http.Request) {
-	_, series := a.lastRun()
-	if series == nil {
-		writeError(w, http.StatusNotFound, fmt.Errorf("no run sampled yet (POST /run first)"))
+	rec := a.lookupRun(w, r)
+	if rec == nil {
+		return
+	}
+	if rec.series == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("run %s was not sampled", rec.id))
 		return
 	}
 	switch format := r.URL.Query().Get("format"); strings.ToLower(format) {
 	case "csv":
 		w.Header().Set("Content-Type", "text/csv")
-		_ = export.WriteTimeseriesCSV(w, series)
+		_ = export.WriteTimeseriesCSV(w, rec.series)
 	case "", "json":
 		w.Header().Set("Content-Type", "application/json")
-		_ = export.WriteTimeseriesJSON(w, series)
+		_ = export.WriteTimeseriesJSON(w, rec.series)
 	default:
 		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown timeseries format %q (json or csv)", format))
 	}

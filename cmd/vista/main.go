@@ -10,12 +10,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -65,7 +69,16 @@ func main() {
 		traceOut: *traceOut, traceFormat: *traceFmt,
 		timeseriesOut: *seriesOut, sampleEvery: *sampleEvr,
 	}
-	if err := run(opts, os.Stdout, os.Stderr); err != nil {
+	// Ctrl-C / SIGTERM cancels the run context: the executor aborts at the
+	// next stage boundary (or inside the running stage, via TaskContext),
+	// releasing tables, pool charges, and spill files before exit.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, opts, os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "vista: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "vista:", err)
 		os.Exit(1)
 	}
@@ -101,10 +114,11 @@ func (o *runOptions) observing() bool {
 	return o.trace || o.traceOut != "" || o.timeseriesOut != ""
 }
 
-// run executes the workload. Result rows and summary counters go to stdout;
-// diagnostics — the -trace span report and the estimate-vs-measured tables —
-// go to stderr, so piped stdout stays machine-readable.
-func run(o runOptions, stdout, stderr io.Writer) error {
+// run executes the workload under ctx (cancellation aborts it cleanly).
+// Result rows and summary counters go to stdout; diagnostics — the -trace
+// span report and the estimate-vs-measured tables — go to stderr, so piped
+// stdout stays machine-readable.
+func run(ctx context.Context, o runOptions, stdout, stderr io.Writer) error {
 	switch o.traceFormat {
 	case "", "chrome":
 		o.traceFormat = "chrome"
@@ -176,7 +190,7 @@ func run(o runOptions, stdout, stderr io.Writer) error {
 
 	fmt.Fprintf(stdout, "Running %s/%s over %s with %s downstream...\n",
 		runSpec.PlanKind, runSpec.Placement, o.model, runSpec.Downstream.Kind)
-	res, err := core.Run(runSpec)
+	res, err := core.RunContext(ctx, runSpec)
 	if err != nil {
 		if oom, ok := memory.IsOOM(err); ok {
 			return fmt.Errorf("workload crashed (Section 4.1 scenario): %w", oom)

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -21,7 +22,7 @@ func smallOpts(t *testing.T) runOptions {
 
 // runBuf runs with captured stdout/stderr.
 func runBuf(o runOptions) (stdout, stderr bytes.Buffer, err error) {
-	err = run(o, &stdout, &stderr)
+	err = run(context.Background(), o, &stdout, &stderr)
 	return stdout, stderr, err
 }
 

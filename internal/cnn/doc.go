@@ -1,0 +1,23 @@
+// Package cnn implements the deep-learning substrate of the Vista
+// reproduction: a CNN inference engine with the paper's data model
+// (Section 3.1) — layers as TensorOps (Definition 3.3), CNNs as layer
+// compositions (Definition 3.4), and partial CNN inference f̂_{i→j}
+// (Definition 3.7) — plus a roster of named architectures (AlexNet, VGG16,
+// ResNet50) with derived per-layer shapes, FLOPs, and parameter counts used
+// by the Vista optimizer.
+//
+// The roster comes in two scales. The full-scale models (ByName("alexnet"),
+// "vgg16", "resnet50") carry the real architectures' layer graphs and are
+// used for optimizer and simulator analysis only — realizing their weights
+// would be prohibitive in tests. The Tiny* variants ("tiny-alexnet",
+// "tiny-vgg16", "tiny-resnet50") preserve each architecture's shape and
+// layer kinds at a fraction of the width, and are fully executable:
+// Model.RealizeWeights materializes deterministic seeded weights, and
+// ComputeStats derives the byte and FLOP accounting either scale feeds into
+// the optimizer's memory model (Section 4.1) and the simulator's runtime
+// estimates.
+//
+// WeightsChecksum content-addresses realized weights, which is how the
+// feature store (internal/featurestore) keys materialized CNN features to
+// the exact model that produced them.
+package cnn

@@ -1,10 +1,3 @@
-// Package cnn implements the deep-learning substrate of the Vista
-// reproduction: a CNN inference engine with the paper's data model
-// (Section 3.1) — layers as TensorOps (Definition 3.3), CNNs as layer
-// compositions (Definition 3.4), and partial CNN inference f̂_{i→j}
-// (Definition 3.7) — plus a roster of named architectures (AlexNet, VGG16,
-// ResNet50) with derived per-layer shapes, FLOPs, and parameter counts used
-// by the Vista optimizer.
 package cnn
 
 import (

@@ -137,7 +137,7 @@ func (rc *runCache) cachedEmits(p *plan.Plan) int {
 // the stored feature vectors (and raw carry) for its ID, in the same
 // TensorList layout the live UDF would produce — and no CNN FLOPs.
 func (ex *executor) attachStep(name string, in *dataflow.Table, step plan.Step, sc *stepCache) (*dataflow.Table, error) {
-	if err := failStage("cache"); err != nil {
+	if err := ex.failStage("cache"); err != nil {
 		return nil, err
 	}
 	sp := ex.stage("cache:" + step.Emits[0].LayerName)

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+)
+
+// TestRunContextPreCancelled verifies an already-dead context never starts
+// the run.
+func TestRunContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := RunContext(ctx, tinySpec(t, 40))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("cancelled run returned a result")
+	}
+}
+
+// TestRunContextCancelMidStage cancels a run while it is parked inside a
+// stage boundary (deterministically, via a faultinject callback on the first
+// train stage) and asserts the run aborts with context.Canceled and releases
+// every pool charge: after RunContext returns, all vista_pool_used_bytes
+// gauges the run registered must read zero.
+func TestRunContextCancelMidStage(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	armed := make(chan struct{})
+	proceed := make(chan struct{})
+	// The callback policy never injects a failure; it just parks the run at
+	// the train boundary until the test has cancelled the context. The next
+	// boundary (or in-flight engine work) then observes the cancellation.
+	faultinject.Arm("core/stage:train", faultinject.Callback(func() {
+		select {
+		case armed <- struct{}{}:
+			<-proceed
+		default: // later train stages (if any) pass straight through
+		}
+	}))
+	defer faultinject.Disarm("core/stage:train")
+
+	go func() {
+		<-armed
+		cancel()
+		close(proceed)
+	}()
+
+	reg := obs.NewRegistry()
+	spec := tinySpec(t, 40)
+	spec.Metrics = reg
+	res, err := RunContext(ctx, spec)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("cancelled run returned a result")
+	}
+
+	// The full charge must be released: a cancelled run that leaks pool
+	// bytes would poison any admission accounting built on top of it.
+	for _, s := range reg.Samples(func(name string) bool { return name == "vista_pool_used_bytes" }) {
+		if s.Value != 0 {
+			t.Errorf("pool gauge %v holds %v bytes after cancelled run", s.Labels, s.Value)
+		}
+	}
+}
+
+// TestRunContextDeadline verifies deadline expiry surfaces as
+// context.DeadlineExceeded through the same path.
+func TestRunContextDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	<-ctx.Done()
+	if _, err := RunContext(ctx, tinySpec(t, 40)); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("RunContext = %v, want context.DeadlineExceeded", err)
+	}
+}

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"repro/internal/cnn"
+	"repro/internal/sim"
+)
+
+// Price estimates how many bytes of workload memory (Storage + User + DL
+// Execution, cluster-wide) running spec would reserve, without running it.
+// It walks the same path Run does — validate, model stats, optimizer inputs
+// (Equation 16), Algorithm 1 — and renders the chosen decision as an
+// admission charge via sim.DecisionCost, so a server can admit runs against
+// a byte budget using exactly the memory model the runs themselves will
+// execute under (Section 4.1, Equations 9–15).
+//
+// A spec that pins a Decision is priced from that decision directly. An
+// infeasible workload returns optimizer.ErrNoFeasible: it cannot be priced,
+// and would not survive execution either.
+func Price(spec Spec) (int64, error) {
+	if err := spec.Validate(); err != nil {
+		return 0, err
+	}
+	if spec.Decision != nil {
+		return sim.DecisionCost(*spec.Decision, spec.Nodes), nil
+	}
+	model, err := cnn.ByName(spec.ModelName)
+	if err != nil {
+		return 0, err
+	}
+	stats, err := cnn.ComputeStats(model)
+	if err != nil {
+		return 0, err
+	}
+	in, err := optimizerInputs(spec, stats)
+	if err != nil {
+		return 0, err
+	}
+	_, cost, err := sim.AdmissionCost(in, spec.params())
+	if err != nil {
+		return 0, err
+	}
+	return cost, nil
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -22,8 +23,14 @@ import (
 // kind or one specific kind of stage.
 const FaultStage = "core/stage"
 
-// failStage consults the failpoint layer at a stage boundary.
-func failStage(label string) error {
+// failStage guards a stage boundary: a cancelled run context aborts before
+// the next stage starts, and the failpoint layer gets a shot at injecting a
+// fault. Cancellation inside a stage is handled by the engine's run-scoped
+// context (TaskContext.Done); this check covers the gaps between stages.
+func (ex *executor) failStage(label string) error {
+	if err := ex.ctx.Err(); err != nil {
+		return fmt.Errorf("core: stage %s: %w", label, err)
+	}
 	if err := faultinject.Hit(FaultStage + ":" + label); err != nil {
 		return fmt.Errorf("core: stage %s: %w", label, err)
 	}
@@ -36,11 +43,25 @@ func failStage(label string) error {
 // Run executes the feature-transfer workload end-to-end on the real engine:
 // optimizer → configuration → ingestion → join and (partial) CNN inference
 // per the logical plan → downstream training per layer. Memory-related
-// failures surface as typed *memory.OOMError values, never panics.
+// failures surface as typed *memory.OOMError values, never panics. Run is
+// RunContext with a background context (never cancelled).
 func Run(spec Spec) (*Result, error) {
+	return RunContext(context.Background(), spec)
+}
+
+// RunContext is Run under a caller-owned context: cancelling ctx (a client
+// disconnect, a deadline) aborts the run at the next stage boundary and
+// inside long-running engine operations (via the engine's run-scoped
+// cancellation and TaskContext.Done), releasing every table, pool charge,
+// and spill file on the way out. The returned error wraps ctx's error, so
+// errors.Is(err, context.Canceled) identifies an aborted run.
+func RunContext(ctx context.Context, spec Spec) (*Result, error) {
 	start := time.Now()
 	if err := spec.Validate(); err != nil {
 		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: run cancelled before start: %w", err)
 	}
 	model, err := cnn.ByName(spec.ModelName)
 	if err != nil {
@@ -105,6 +126,7 @@ func Run(spec Spec) (*Result, error) {
 		return nil, err
 	}
 	defer engine.Close()
+	engine.SetContext(ctx)
 
 	var session *dl.Session
 	if sessionNeeded {
@@ -123,6 +145,7 @@ func Run(spec Spec) (*Result, error) {
 	}
 
 	ex := &executor{
+		ctx:      ctx,
 		spec:     spec,
 		engine:   engine,
 		session:  session,
@@ -220,6 +243,7 @@ func avgImageBytes(rows []dataflow.Row) int64 {
 
 // executor drives one compiled plan over the engine.
 type executor struct {
+	ctx      context.Context // the run's cancellation context
 	spec     Spec
 	engine   *dataflow.Engine
 	session  *dl.Session // nil on fully-warm runs (no inference scheduled)
@@ -248,7 +272,7 @@ func counterDelta(load func() int64) func() int64 {
 
 func (ex *executor) run() ([]LayerResult, error) {
 	e := ex.engine
-	if err := failStage("ingest"); err != nil {
+	if err := ex.failStage("ingest"); err != nil {
 		return nil, err
 	}
 	ingest := ex.stage("ingest")
@@ -273,7 +297,7 @@ func (ex *executor) run() ([]LayerResult, error) {
 // runAfterJoin joins Tstr ⋈ Timg first, then runs inference passes over the
 // joined table (the paper's AJ placement; Staged/AJ is Vista's default).
 func (ex *executor) runAfterJoin(tstr, timg *dataflow.Table) ([]LayerResult, error) {
-	if err := failStage("join"); err != nil {
+	if err := ex.failStage("join"); err != nil {
 		tstr.Drop()
 		timg.Drop()
 		return nil, err
@@ -433,7 +457,7 @@ func (ex *executor) runStep(name string, in *dataflow.Table, step plan.Step, raw
 	if ex.session == nil {
 		return nil, fmt.Errorf("core: internal: inference step %s scheduled without a DL session", name)
 	}
-	if err := failStage("infer"); err != nil {
+	if err := ex.failStage("infer"); err != nil {
 		return nil, err
 	}
 	sp := ex.stage("infer:" + step.Emits[0].LayerName)
@@ -476,7 +500,7 @@ func (ex *executor) preMaterialize(base *dataflow.Table, results *[]LayerResult)
 	if err != nil {
 		return nil, 0, err
 	}
-	if err := failStage("premat"); err != nil {
+	if err := ex.failStage("premat"); err != nil {
 		base.Drop()
 		return nil, 0, err
 	}
@@ -513,7 +537,7 @@ func (ex *executor) preMaterializeBJ(tstr, timg *dataflow.Table, results *[]Laye
 	if err != nil {
 		return nil, 0, err
 	}
-	if err := failStage("premat"); err != nil {
+	if err := ex.failStage("premat"); err != nil {
 		return nil, 0, err
 	}
 	sp := ex.stage("premat:" + bl.Name)
@@ -571,7 +595,7 @@ func (ex *executor) projectFeature(t *dataflow.Table, idx int, layer string) (*d
 
 // train fits the downstream model on [X, feature(idx)] and evaluates it.
 func (ex *executor) train(t *dataflow.Table, featIdx int, em plan.Emit) (LayerResult, error) {
-	if err := failStage("train"); err != nil {
+	if err := ex.failStage("train"); err != nil {
 		return LayerResult{}, err
 	}
 	sp := ex.stage("train:" + em.LayerName)

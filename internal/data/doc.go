@@ -1,0 +1,16 @@
+// Package data provides the synthetic multimodal datasets of the Vista
+// reproduction. The paper evaluates on Foods (≈20k examples, 130 structured
+// features, one image each) and Amazon (≈200k examples, ≈200 structured
+// features); neither is available offline, so this package generates
+// datasets with the same cardinalities whose images carry class signal at
+// multiple abstraction levels — structured features alone are weakly
+// predictive, hand-crafted HOG features add some lift, and CNN features add
+// more (the Figure 8 shape).
+//
+// Generate is deterministic in the spec's seed, so two processes (or a
+// server and its test) generating the same spec get byte-identical rows —
+// the property the feature store's content addressing and the server's
+// admission pricing both lean on. Datasets can also be saved to and loaded
+// from a directory (one image file per example) for cross-invocation reuse;
+// see Save and Load.
+package data

@@ -1,11 +1,3 @@
-// Package data provides the synthetic multimodal datasets of the Vista
-// reproduction. The paper evaluates on Foods (≈20k examples, 130 structured
-// features, one image each) and Amazon (≈200k examples, ≈200 structured
-// features); neither is available offline, so this package generates
-// datasets with the same cardinalities whose images carry class signal at
-// multiple abstraction levels — structured features alone are weakly
-// predictive, hand-crafted HOG features add some lift, and CNN features add
-// more (the Figure 8 shape).
 package data
 
 import (

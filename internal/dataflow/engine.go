@@ -1,6 +1,7 @@
 package dataflow
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sync"
@@ -42,6 +43,9 @@ type Engine struct {
 
 	mu     sync.Mutex
 	closed bool
+	// runCtx is the run-scoped cancellation context (SetContext); nil means
+	// never cancelled.
+	runCtx context.Context
 	// spillFiles tracks live spill files (guarded by mu) so Close can
 	// remove any that error paths stranded — a run that dies mid-plan in a
 	// caller-provided SpillDir must not leave orphan part-*.spill files.
@@ -97,6 +101,27 @@ func NewEngine(cfg Config) (*Engine, error) {
 
 // Config returns the engine's configuration.
 func (e *Engine) Config() Config { return e.cfg }
+
+// SetContext attaches a run-scoped cancellation context. Once ctx is
+// cancelled every subsequent operation (and every operation in flight) fails
+// fast with ctx's error: the scheduler stops dispatching, blocked slot
+// acquires abort, and running tasks observe the cancellation through
+// TaskContext.Done. Safe to call once, before the first operation.
+func (e *Engine) SetContext(ctx context.Context) {
+	e.mu.Lock()
+	e.runCtx = ctx
+	e.mu.Unlock()
+}
+
+// context returns the attached run context, or context.Background().
+func (e *Engine) context() context.Context {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.runCtx == nil {
+		return context.Background()
+	}
+	return e.runCtx
+}
 
 // Counters returns the engine's instrumentation counters.
 func (e *Engine) Counters() *Counters { return &e.counters }
@@ -167,17 +192,19 @@ type TaskContext struct {
 	Engine *Engine
 	NodeID int
 	Part   int
-	// done is closed when another task in the same operation fails.
+	// done is closed when another task in the same operation fails or the
+	// run-scoped context attached via Engine.SetContext is cancelled.
 	done <-chan struct{}
 }
 
 // Done returns a channel closed when the operation this task belongs to has
-// failed; long-running UDFs may watch it to abort cooperatively. Nil when the
-// context was built outside runTasks (then it blocks forever, i.e. never
-// cancelled).
+// failed or the whole run has been cancelled (Engine.SetContext); long-running
+// UDFs may watch it to abort cooperatively. Nil when the context was built
+// outside runTasks (then it blocks forever, i.e. never cancelled).
 func (tc *TaskContext) Done() <-chan struct{} { return tc.done }
 
-// Cancelled reports whether another task in the same operation has failed.
+// Cancelled reports whether the task's operation has already failed or been
+// cancelled.
 func (tc *TaskContext) Cancelled() bool {
 	select {
 	case <-tc.done:
@@ -204,10 +231,16 @@ func (tc *TaskContext) AddFLOPs(n int64) { tc.Engine.counters.FLOPs.Add(n) }
 // remaining tasks: undispatched tasks are abandoned — the scheduler checks
 // for failure *before* blocking on a slot and aborts a blocked acquire, so a
 // long straggler can never delay cancellation — and already-started tasks
-// finish (they may watch TaskContext.Done to abort cooperatively).
+// finish (they may watch TaskContext.Done to abort cooperatively). A
+// run-scoped context attached via SetContext cancels the same way: its error
+// becomes the operation's error and TaskContext.Done closes.
 func (e *Engine) runTasks(tasks int, fn func(tc *TaskContext) error) error {
 	if tasks == 0 {
 		return nil
+	}
+	ctx := e.context()
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	var (
 		wg       sync.WaitGroup
@@ -222,6 +255,21 @@ func (e *Engine) runTasks(tasks int, fn func(tc *TaskContext) error) error {
 			close(done)
 		}
 		mu.Unlock()
+	}
+	// Propagate run-level cancellation into this operation's done channel, so
+	// one mechanism covers both "a sibling task failed" and "the whole run
+	// was cancelled". The watcher exits with the operation.
+	if ctx.Done() != nil {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			select {
+			case <-ctx.Done():
+				fail(ctx.Err())
+			case <-done:
+			case <-stop:
+			}
+		}()
 	}
 	cancelled := func() bool {
 		select {

@@ -39,10 +39,14 @@ func (t *Table) MemBytes() int64 {
 }
 
 // CreateTable ingests rows into a new cached table with np hash partitions on
-// ID. It counts the rows' payload as input bytes read.
+// ID. It counts the rows' payload as input bytes read. Ingestion runs on the
+// driver (no tasks), so the run context is checked once up front.
 func (e *Engine) CreateTable(name string, rows []Row, np int) (*Table, error) {
 	if np <= 0 {
 		return nil, fmt.Errorf("dataflow: table %s: np must be positive, got %d", name, np)
+	}
+	if err := e.context().Err(); err != nil {
+		return nil, err
 	}
 	buckets := make([][]Row, np)
 	var readBytes int64

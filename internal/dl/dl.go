@@ -1,10 +1,3 @@
-// Package dl is the deep-learning-system bridge of the Vista reproduction —
-// the role TensorFrames plays between Spark and TensorFlow in the paper
-// (Section 2). A Session holds one CNN's realized weights, charges per-core
-// model replicas against each worker's DL Execution Memory (Section 4.1,
-// crash scenario 1; Equation 11) and the serialized model against User Memory
-// (Equation 10), and manufactures partition UDFs that run (partial) CNN
-// inference over dataflow tables.
 package dl
 
 import (

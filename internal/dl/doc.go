@@ -1,0 +1,15 @@
+// Package dl is the deep-learning-system bridge of the Vista reproduction —
+// the role TensorFrames plays between Spark and TensorFlow in the paper
+// (Section 2). A Session holds one CNN's realized weights, charges per-core
+// model replicas against each worker's DL Execution Memory (Section 4.1,
+// crash scenario 1; Equation 11) and the serialized model against User
+// Memory (Equation 10), and manufactures partition UDFs that run (partial)
+// CNN inference over dataflow tables.
+//
+// The UDFs a Session builds (Session.PartitionFunc) implement the plan
+// compiler's inference steps: run layers From..To over either raw images or
+// a staged raw-tensor carry, emit the requested feature layers into each
+// row's TensorList, and optionally keep the last raw tensor for the next
+// staged step (Appendix B). Closing the session releases every memory
+// charge it made, which run cancellation relies on to drain pools to zero.
+package dl

@@ -1,0 +1,16 @@
+// Package featurestore implements a content-addressed, disk-backed
+// materialized store for CNN features, the cross-run reuse layer of the
+// Vista reproduction (DeepLens-style): features computed by one run attach
+// to later runs at store-I/O cost instead of CNN FLOPs.
+//
+// Entries are keyed by (model name, weights checksum, dataset checksum,
+// layer index, kind) — see Key — so a hit is exact by construction: the
+// same model weights over the same rows. Kinds distinguish emitted feature
+// vectors (Feature) from staged raw carries (RawCarry), letting a warm run
+// resume partial inference mid-chain. The store enforces a byte budget with
+// LRU eviction, persists its index and entry files via atomic
+// write-and-rename, and recovers from torn writes on reopen; Fsck audits
+// the directory against the index, and the faultinject sites declared in
+// store.go let crash-consistency tests kill the process between the two
+// persistence steps.
+package featurestore

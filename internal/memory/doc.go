@@ -1,0 +1,16 @@
+// Package memory implements Vista's abstract model of distributed memory
+// apportioning (Section 4.1, Figure 4). A worker's System Memory splits into
+// OS Reserved Memory and Workload Memory; Workload Memory splits into DL
+// Execution Memory (outside the PD system's heap), User Memory, Core Memory,
+// and Storage Memory. The package also encodes how that abstract model maps
+// onto Spark-like and Ignite-like systems, and defines the typed
+// out-of-memory errors for the paper's four crash scenarios.
+//
+// Pool is the enforcement primitive: a byte budget that rejects allocations
+// past capacity with a typed *OOMError (IsOOM unwraps one from any error
+// chain) and tracks a high-water mark. The dataflow engine holds one pool
+// per (node, memory class); the optimizer's Decision apportions capacities
+// across them (Equations 9-15); and the admission controller prices whole
+// runs in the same currency, so a byte admitted is a byte some pool could
+// actually charge.
+package memory

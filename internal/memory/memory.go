@@ -1,10 +1,3 @@
-// Package memory implements Vista's abstract model of distributed memory
-// apportioning (Section 4.1, Figure 4). A worker's System Memory splits into
-// OS Reserved Memory and Workload Memory; Workload Memory splits into DL
-// Execution Memory (outside the PD system's heap), User Memory, Core Memory,
-// and Storage Memory. The package also encodes how that abstract model maps
-// onto Spark-like and Ignite-like systems, and defines the typed
-// out-of-memory errors for the paper's four crash scenarios.
 package memory
 
 import (

@@ -1,7 +1,3 @@
-// Package ml implements the downstream ML routines M of the feature-transfer
-// workload (Section 3.2, step 4): distributed elastic-net logistic regression
-// (the paper's main M), a CART decision tree, and a multi-layer perceptron,
-// plus train/test evaluation with F1 scoring (Section 5.2).
 package ml
 
 import (

@@ -1,0 +1,13 @@
+// Package tensor implements dense float32 tensors and the tensor operations
+// needed for CNN inference, following the data model of Vista (SIGMOD 2020)
+// Section 3.1: Tensor (Definition 3.1), TensorList (Definition 3.2), and
+// TensorOp-style functions (Definition 3.3) such as flattening
+// (Definition 3.5) and pooling.
+//
+// Tensors are stored row-major. Image tensors use CHW layout
+// (channels, height, width), matching the convention used throughout
+// internal/cnn. SizeBytes reports a tensor's accounting size — the number
+// the engine's Storage/User Memory pools charge when tensors flow through
+// tables — and Encode/Decode give tensors a compact binary form for
+// feature-store persistence.
+package tensor

@@ -1,12 +1,3 @@
-// Package tensor implements dense float32 tensors and the tensor operations
-// needed for CNN inference, following the data model of Vista (SIGMOD 2020)
-// Section 3.1: Tensor (Definition 3.1), TensorList (Definition 3.2), and
-// TensorOp-style functions (Definition 3.3) such as flattening
-// (Definition 3.5) and pooling.
-//
-// Tensors are stored row-major. Image tensors use CHW layout
-// (channels, height, width), matching the convention used throughout
-// internal/cnn.
 package tensor
 
 import (

@@ -15,6 +15,9 @@ fi
 echo "== go vet =="
 go vet ./...
 
+echo "== package docs =="
+go run ./scripts/pkgdoc
+
 echo "== go build =="
 go build ./...
 
@@ -41,6 +44,15 @@ go run ./cmd/vista -rows 200 -layers 2 \
     >"$obs_tmp/stdout.txt" 2>"$obs_tmp/stderr.txt"
 go run ./scripts/tracecheck -trace "$obs_tmp/trace.json" -timeseries "$obs_tmp/series.csv"
 rm -rf "$obs_tmp"
+
+echo "== server concurrency smoke =="
+# Boot a real vista-server with a budget sized for ~2 concurrent runs, flood
+# it with parallel /run requests, and assert every response is 200/429/503,
+# the admission counters reconcile, and shutdown drains cleanly.
+smoke_tmp=$(mktemp -d)
+go build -o "$smoke_tmp/vista-server" ./cmd/vista-server
+go run ./scripts/serversmoke -server "$smoke_tmp/vista-server"
+rm -rf "$smoke_tmp"
 
 echo "== bench smoke (BENCH_SHORT=1) =="
 bench_out=$(mktemp)

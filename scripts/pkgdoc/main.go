@@ -1,0 +1,73 @@
+// Command pkgdoc lints package documentation: every non-test package under
+// the given roots (default: internal/ and cmd/) must carry a package
+// comment. CI runs it via scripts/ci.sh and fails the build on offenders,
+// so new packages cannot land undocumented.
+//
+// A package passes when any of its non-test .go files has a doc comment
+// attached to the package clause. Usage:
+//
+//	go run ./scripts/pkgdoc [roots...]
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"internal", "cmd"}
+	}
+	// documented[dir] records whether any non-test file in dir carries a
+	// package comment; present-but-false means the package has files and
+	// no doc.
+	documented := map[string]bool{}
+	fset := token.NewFileSet()
+	for _, root := range roots {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			f, err := parser.ParseFile(fset, path, nil, parser.PackageClauseOnly|parser.ParseComments)
+			if err != nil {
+				return fmt.Errorf("parse %s: %w", path, err)
+			}
+			dir := filepath.Dir(path)
+			if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+				documented[dir] = true
+			} else if _, seen := documented[dir]; !seen {
+				documented[dir] = false
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pkgdoc:", err)
+			os.Exit(1)
+		}
+	}
+	var missing []string
+	for dir, ok := range documented {
+		if !ok {
+			missing = append(missing, dir)
+		}
+	}
+	sort.Strings(missing)
+	if len(missing) > 0 {
+		fmt.Fprintln(os.Stderr, "pkgdoc: packages without a package comment:")
+		for _, dir := range missing {
+			fmt.Fprintf(os.Stderr, "  %s\n", dir)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("pkgdoc: %d packages documented\n", len(documented))
+}

@@ -1,0 +1,253 @@
+// Command serversmoke is the CI concurrency gate for vista-server: it boots
+// a real server binary with an admission budget sized for about two
+// concurrent runs, floods it with parallel POST /run requests, and asserts
+// the admission contract end to end:
+//
+//   - every response is 200, 429 (with Retry-After), or 503 — never a crash
+//     or an engine OOM surfacing as a 5xx;
+//   - the admission counters scraped from /metrics reconcile exactly with
+//     the observed responses;
+//   - in-flight bytes and queue depth drain to zero once the flood ends;
+//   - SIGTERM produces a clean exit.
+//
+// Usage: go run ./scripts/serversmoke -server /path/to/vista-server
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/memory"
+)
+
+const (
+	rows     = 60
+	layers   = 2
+	parallel = 12
+)
+
+func main() {
+	server := flag.String("server", "", "path to the vista-server binary")
+	flag.Parse()
+	if *server == "" {
+		fatal("missing -server")
+	}
+	if err := smoke(*server); err != nil {
+		fatal(err.Error())
+	}
+	fmt.Println("serversmoke: OK")
+}
+
+func fatal(msg string) {
+	fmt.Fprintln(os.Stderr, "serversmoke:", msg)
+	os.Exit(1)
+}
+
+// price computes the admission cost of one smoke /run exactly as the server
+// will: same dataset, model, and environment defaults.
+func price() (int64, error) {
+	structRows, imageRows, err := data.Generate(data.Foods().WithRows(rows))
+	if err != nil {
+		return 0, err
+	}
+	return core.Price(core.Spec{
+		Nodes: 2, CoresPerNode: 4,
+		MemPerNode: memory.GB(32),
+		SystemKind: memory.SparkLike,
+		ModelName:  "tiny-alexnet", NumLayers: layers,
+		Downstream: core.DefaultDownstream(),
+		StructRows: structRows, ImageRows: imageRows,
+		Seed: 7,
+	})
+}
+
+// freePort grabs an ephemeral port. Closing before the server binds leaves
+// a tiny race, acceptable in CI.
+func freePort() (string, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr, nil
+}
+
+func smoke(server string) error {
+	cost, err := price()
+	if err != nil {
+		return fmt.Errorf("price: %w", err)
+	}
+	budgetMiB := (2*cost + (1 << 20) - 1) >> 20 // ceil to MiB, fits ~2 runs
+	addr, err := freePort()
+	if err != nil {
+		return err
+	}
+
+	cmd := exec.Command(server,
+		"-addr", addr,
+		"-feature-cache-mb", "0",
+		"-mem-budget", strconv.FormatInt(budgetMiB, 10),
+		"-queue-depth", "4",
+		"-queue-timeout", "2s",
+	)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("start server: %w", err)
+	}
+	defer cmd.Process.Kill()
+
+	base := "http://" + addr
+	if err := waitHealthy(base); err != nil {
+		return err
+	}
+
+	var mu sync.Mutex
+	codes := map[int]int{}
+	var wg sync.WaitGroup
+	wg.Add(parallel)
+	body := fmt.Sprintf(`{"model":"tiny-alexnet","dataset":"foods","rows":%d,"layers":%d}`, rows, layers)
+	for i := 0; i < parallel; i++ {
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(base+"/run", "application/json", strings.NewReader(body))
+			if err != nil {
+				mu.Lock()
+				codes[-1]++
+				mu.Unlock()
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusTooManyRequests && resp.Header.Get("Retry-After") == "" {
+				mu.Lock()
+				codes[-2]++
+				mu.Unlock()
+				return
+			}
+			mu.Lock()
+			codes[resp.StatusCode]++
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+
+	if codes[-1] > 0 {
+		return fmt.Errorf("%d requests failed at the transport layer", codes[-1])
+	}
+	if codes[-2] > 0 {
+		return fmt.Errorf("%d 429 responses lacked Retry-After", codes[-2])
+	}
+	for code, n := range codes {
+		switch code {
+		case http.StatusOK, http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		default:
+			return fmt.Errorf("unexpected status %d (%d times)", code, n)
+		}
+	}
+	if codes[http.StatusOK] == 0 {
+		return fmt.Errorf("no /run succeeded (codes: %v)", codes)
+	}
+
+	metrics, err := scrape(base)
+	if err != nil {
+		return err
+	}
+	checks := []struct {
+		series string
+		want   float64
+	}{
+		{`vista_admission_admitted_total`, float64(codes[http.StatusOK])},
+		{`vista_admission_rejected_total{reason="deadline"}`, float64(codes[http.StatusTooManyRequests])},
+		{`vista_admission_rejected_total{reason="queue_full"}`, float64(codes[http.StatusServiceUnavailable])},
+		{`vista_admission_inflight_bytes`, 0},
+		{`vista_admission_inflight_runs`, 0},
+		{`vista_admission_queue_depth`, 0},
+		{`vista_admission_cancelled_total`, 0},
+	}
+	for _, c := range checks {
+		got, ok := metrics[c.series]
+		if !ok {
+			return fmt.Errorf("metric %s missing from /metrics", c.series)
+		}
+		if got != c.want {
+			return fmt.Errorf("%s = %v, want %v (responses: %v)", c.series, got, c.want, codes)
+		}
+	}
+
+	// Clean drain on shutdown.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return fmt.Errorf("signal server: %w", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("server exited uncleanly after SIGTERM: %w", err)
+		}
+	case <-time.After(15 * time.Second):
+		return fmt.Errorf("server did not exit within 15s of SIGTERM")
+	}
+	fmt.Fprintf(os.Stderr, "serversmoke: %d requests -> %v (budget %d MiB)\n", parallel, codes, budgetMiB)
+	return nil
+}
+
+func waitHealthy(base string) error {
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return fmt.Errorf("server never became healthy at %s", base)
+}
+
+// scrape fetches /metrics and parses the flat Prometheus text exposition
+// into series -> value ("name" or `name{labels}` keys).
+func scrape(base string) (map[string]float64, error) {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return nil, fmt.Errorf("scrape: %w", err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]float64{}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			continue
+		}
+		out[line[:sp]] = v
+	}
+	return out, nil
+}
