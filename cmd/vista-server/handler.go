@@ -19,6 +19,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/optimizer"
 	"repro/internal/plan"
+	"repro/internal/share"
 	"repro/internal/sim"
 )
 
@@ -112,6 +113,9 @@ type api struct {
 	// admit gates concurrent /run execution against a memory budget; nil
 	// admits everything (admission disabled).
 	admit *admission.Controller
+	// share coalesces concurrent identical /run requests into one shared
+	// partial-inference pass; nil runs every request solo (sharing disabled).
+	share *share.Coordinator
 	// queueTimeout sizes the Retry-After hint on 429 responses.
 	queueTimeout time.Duration
 	// runs retains recent runs' traces and time series for /trace and
@@ -148,6 +152,11 @@ const defaultSLOP99 = 60.0
 // server retains for /trace and /timeseries lookups.
 const defaultRunHistory = 16
 
+// defaultShareWindow is how long the first /run of a sharing group holds the
+// group open: long enough to catch a concurrent flood of identical requests,
+// short enough to be negligible against a real run's execution time.
+const defaultShareWindow = 150 * time.Millisecond
+
 // serverConfig assembles everything an api instance needs. The zero value
 // of every field is valid: nil store disables caching, zero budget disables
 // admission, and sloP99 is taken literally (0 = every observed request
@@ -165,6 +174,10 @@ type serverConfig struct {
 	// runHistory is how many completed runs /trace and /timeseries retain
 	// (0 = defaultRunHistory).
 	runHistory int
+	// share enables multi-query shared inference for concurrent identical
+	// /run requests; shareWindow is the batching window (0 = the default).
+	share       bool
+	shareWindow time.Duration
 }
 
 // newHandler builds the service mux around a shared feature store (nil
@@ -206,6 +219,19 @@ func newAPI(cfg serverConfig) *api {
 			panic(err)
 		}
 		a.admit = ctrl
+	}
+	if cfg.share {
+		win := cfg.shareWindow
+		if win <= 0 {
+			win = defaultShareWindow
+		}
+		coord, err := share.New(share.Config{Window: win, Metrics: a.metrics})
+		if err != nil {
+			// Unreachable with the positive window enforced above, but fail
+			// closed rather than silently solo.
+			panic(err)
+		}
+		a.share = coord
 	}
 	if a.store != nil {
 		a.store.RegisterMetrics(a.metrics)
@@ -490,14 +516,65 @@ func (a *api) handleRun(w http.ResponseWriter, r *http.Request) {
 		SampleEvery:  runSampleEvery,
 	}
 
+	// Sharing: announce the run to the coalescer and wait out the batching
+	// window. Identity is the content-addressed fingerprint — two requests
+	// share iff they would materialize byte-identical feature tables.
+	var ticket *share.Ticket
+	if a.share != nil {
+		if fp, ok := core.ShareFingerprint(spec); ok {
+			var jerr error
+			ticket, jerr = a.share.Join(r.Context(),
+				share.Identity{Model: fp.Model, WeightsSum: fp.WeightsSum, DataSum: fp.DataSum},
+				share.Member{NumLayers: fp.NumLayers, InferenceFLOPs: fp.InferenceFLOPs})
+			if jerr != nil {
+				// Cancelled while the window was open; the member withdrew.
+				w.WriteHeader(statusClientClosedRequest)
+				return
+			}
+		}
+	}
+	// Every path below must settle the ticket exactly once; runErr carries
+	// the outcome (a failed or unstarted leader triggers follower promotion).
+	var runErr error
+	defer func() { ticket.Finish(runErr) }()
+
+	role := ticket.Role()
+	if role == share.Follower {
+		// Followers wait for the leader BEFORE admission, holding zero
+		// budget, so a queued follower can never starve its own leader.
+		att, aerr := ticket.AwaitLeader(r.Context())
+		if aerr != nil {
+			runErr = aerr
+			if errors.Is(aerr, share.ErrGroupFailed) {
+				writeError(w, http.StatusInternalServerError, aerr)
+			} else {
+				w.WriteHeader(statusClientClosedRequest)
+			}
+			return
+		}
+		spec.FeatureSource = att.Source
+		role = ticket.Role() // Leader now, if promoted
+	}
+	if role == share.Leader {
+		spec.FeatureSource = ticket.Source() // resume a failed pass's partial progress
+		spec.FeatureSink = ticket.Sink()
+	}
+
 	// Admission: price the run with the optimizer's memory model and hold
-	// the charge for the run's whole lifetime. An unpriceable spec skips
-	// admission — the run itself will fail identically below, holding no
-	// engine memory.
+	// the charge for the run's whole lifetime. A follower attaches its
+	// group leader's tables instead of opening a DL session, so it is
+	// charged only the marginal (DL-free) reservation. An unpriceable spec
+	// skips admission — the run itself will fail identically below, holding
+	// no engine memory.
 	if a.admit != nil {
-		if price, perr := core.Price(spec); perr == nil {
+		priceFn := core.Price
+		if role == share.Follower {
+			priceFn = core.PriceFollower
+		}
+		if price, perr := priceFn(spec); perr == nil {
 			grant, aerr := a.admit.Admit(r.Context(), price)
 			if aerr != nil {
+				runErr = aerr
 				a.writeAdmissionError(w, aerr)
 				return
 			}
@@ -505,8 +582,10 @@ func (a *api) handleRun(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	ticket.Start()
 	seq, runID := a.runs.begin()
 	res, err := core.RunContext(r.Context(), spec)
+	runErr = err
 	if err != nil {
 		if r.Context().Err() != nil {
 			// The client is gone; nobody reads this response. Surface a 499
@@ -540,14 +619,21 @@ func (a *api) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	a.mu.Unlock()
 	a.runs.complete(seq, res.Trace, res.Series)
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"crashed":    false,
 		"run_id":     runID,
 		"decision":   toDecisionJSON(res.Decision),
 		"layers":     layers,
 		"elapsed_ms": res.Elapsed.Milliseconds(),
 		"cache":      res.Cache,
-	})
+	}
+	if ticket != nil {
+		resp["share"] = map[string]any{
+			"role":       ticket.Role().String(),
+			"group_size": ticket.GroupSize(),
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // statusClientClosedRequest is nginx's conventional code for "the client

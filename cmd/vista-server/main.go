@@ -29,8 +29,15 @@
 // Runs that do not fit wait in a bounded FIFO queue (-queue-depth,
 // -queue-timeout); a timed-out wait gets 429 + Retry-After and a full queue
 // gets 503. Cancelled client connections abort their run mid-stage and
-// return the whole reservation. See docs/OPERATIONS.md for the full
-// operator guide.
+// return the whole reservation.
+//
+// With -share, concurrent /run requests whose workload fingerprint matches
+// (same model, weights, and image content) coalesce into one sharing group
+// during -share-window: a single leader executes the partial-CNN pass to the
+// maximum requested layer and every follower attaches the leader's feature
+// tables — never opening a DL session and paying only a marginal admission
+// price — before finishing its own downstream training independently. See
+// docs/OPERATIONS.md for the full operator guide.
 //
 // Example:
 //
@@ -73,9 +80,17 @@ func main() {
 		"how long one /run request may queue before a 429 with Retry-After")
 	runHistory := flag.Int("run-history", defaultRunHistory,
 		"how many completed runs /trace and /timeseries retain")
+	shareOn := flag.Bool("share", false,
+		"enable multi-query shared inference: concurrent /run requests on the same (model, weights, data) coalesce into one shared partial-CNN pass")
+	shareWindow := flag.Duration("share-window", defaultShareWindow,
+		"how long the first /run of a sharing group holds the group open for identical requests (requires -share)")
 	flag.Parse()
 	if *memBudget < 0 || *queueDepth < 0 || *queueTimeout < 0 || *runHistory < 0 {
 		fmt.Fprintln(os.Stderr, "vista-server: -mem-budget, -queue-depth, -queue-timeout, and -run-history must be >= 0")
+		os.Exit(2)
+	}
+	if *shareOn && *shareWindow <= 0 {
+		fmt.Fprintln(os.Stderr, "vista-server: -share-window must be positive when -share is set")
 		os.Exit(2)
 	}
 
@@ -110,10 +125,15 @@ func main() {
 		queueDepth:     *queueDepth,
 		queueTimeout:   *queueTimeout,
 		runHistory:     *runHistory,
+		share:          *shareOn,
+		shareWindow:    *shareWindow,
 	}).handler()
 	if *memBudget > 0 {
 		log.Printf("admission control: budget %d MiB, queue depth %d, queue timeout %s",
 			*memBudget, *queueDepth, *queueTimeout)
+	}
+	if *shareOn {
+		log.Printf("shared inference: batching identical /run requests for %s", *shareWindow)
 	}
 	srv := &http.Server{Addr: *addr, Handler: handler}
 	log.Printf("vista-server listening on %s", *addr)

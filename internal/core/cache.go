@@ -15,7 +15,10 @@ import (
 // fully covered by materialized features are replaced with a cache attach
 // (zero CNN FLOPs), and steps that do run publish their features back for
 // future runs — DeepLens-style cross-run feature reuse on top of the Staged
-// executor.
+// executor. The same probe consults the spec's in-memory FeatureSource (a
+// sharing group's handoff) ahead of the durable store, and live steps fan
+// their outputs into the FeatureSink, so multi-query shared inference rides
+// the identical content-address machinery.
 
 // stepCache holds the tensors one plan step would otherwise compute, fully
 // loaded from the store at probe time and indexed by row ID. Loading up
@@ -23,27 +26,36 @@ import (
 type stepCache struct {
 	feats []map[int64]*tensor.Tensor // one map per emitted layer, in emit order
 	raw   map[int64]*tensor.Tensor   // staged raw carry (nil unless KeepRaw)
+	// shared marks a step served (at least partly) from the in-memory
+	// FeatureSource rather than the durable store; its attach is labeled
+	// "shared:<layer>" instead of "cache:<layer>".
+	shared bool
 }
 
-// runCache is one run's view of the feature store: the content-address
+// runCache is one run's view of materialized features: the content-address
 // components shared by all of the run's keys, and which plan steps can be
-// served from materialized features.
+// served without running inference — from the durable feature store, the
+// in-memory share handoff, or both.
 type runCache struct {
-	store      *featurestore.Store
+	store      *featurestore.Store // nil = no durable store
+	source     FeatureSource       // nil = no share handoff to read
+	sink       FeatureSink         // nil = no share handoff to feed
 	model      string
 	weightsSum string
 	dataSum    string
 	steps      []*stepCache // indexed by plan step; nil = execute live
-	loaded     int          // store entries loaded
+	loaded     int          // durable-store entries loaded
 }
 
-// loadRunCache probes the spec's feature store for the compiled plan. A step
-// is served from cache iff every emitted layer hits and, when it keeps a raw
-// carry, the carry hits too (a later stage may continue partial inference
-// from it). Returns nil when the spec has no store or the model's weights
-// cannot be realized (then no cache identity exists).
+// loadRunCache probes the spec's feature store and share handoff for the
+// compiled plan. A step is served from cache iff every emitted layer hits
+// and, when it keeps a raw carry, the carry hits too (a later stage may
+// continue partial inference from it); per entry, the in-memory source wins
+// over the store. Returns nil when the spec has neither store nor
+// source/sink, or the model's weights cannot be realized (then no cache
+// identity exists).
 func loadRunCache(spec *Spec, model *cnn.Model, p *plan.Plan) *runCache {
-	if spec.FeatureStore == nil {
+	if spec.FeatureStore == nil && spec.FeatureSource == nil && spec.FeatureSink == nil {
 		return nil
 	}
 	w, err := model.RealizeWeights(spec.Seed)
@@ -52,6 +64,8 @@ func loadRunCache(spec *Spec, model *cnn.Model, p *plan.Plan) *runCache {
 	}
 	rc := &runCache{
 		store:      spec.FeatureStore,
+		source:     spec.FeatureSource,
+		sink:       spec.FeatureSink,
 		model:      model.Name,
 		weightsSum: cnn.WeightsChecksum(w),
 		dataSum:    featurestore.DataChecksum(spec.ImageRows),
@@ -59,26 +73,21 @@ func loadRunCache(spec *Spec, model *cnn.Model, p *plan.Plan) *runCache {
 	}
 	for si, step := range p.Steps {
 		sc := &stepCache{feats: make([]map[int64]*tensor.Tensor, len(step.Emits))}
-		entries := 0
 		ok := true
 		for ei, em := range step.Emits {
-			if sc.feats[ei] = rc.load(em.LayerIndex, featurestore.Feature); sc.feats[ei] == nil {
+			if sc.feats[ei] = rc.load(sc, em.LayerIndex, featurestore.Feature); sc.feats[ei] == nil {
 				ok = false
 				break
 			}
-			entries++
 		}
 		if ok && step.KeepRaw {
 			last := step.Emits[len(step.Emits)-1]
-			if sc.raw = rc.load(last.LayerIndex, featurestore.RawCarry); sc.raw == nil {
+			if sc.raw = rc.load(sc, last.LayerIndex, featurestore.RawCarry); sc.raw == nil {
 				ok = false
-			} else {
-				entries++
 			}
 		}
 		if ok {
 			rc.steps[si] = sc
-			rc.loaded += entries
 		}
 	}
 	return rc
@@ -96,12 +105,35 @@ func (rc *runCache) key(layer int, kind featurestore.EntryKind) featurestore.Key
 }
 
 // load fetches one entry and indexes its tensors by row ID; nil on a miss or
-// a malformed entry.
-func (rc *runCache) load(layer int, kind featurestore.EntryKind) map[int64]*tensor.Tensor {
-	rows, ok, err := rc.store.Get(rc.key(layer, kind))
+// a malformed entry. The in-memory source is probed first (its rows are this
+// group's freshly computed tables; a hit marks the step shared), then the
+// durable store.
+func (rc *runCache) load(sc *stepCache, layer int, kind featurestore.EntryKind) map[int64]*tensor.Tensor {
+	k := rc.key(layer, kind)
+	if rc.source != nil {
+		if rows, ok := rc.source.Lookup(k); ok {
+			if m := indexRows(rows); m != nil {
+				sc.shared = true
+				return m
+			}
+		}
+	}
+	if rc.store == nil {
+		return nil
+	}
+	rows, ok, err := rc.store.Get(k)
 	if err != nil || !ok {
 		return nil
 	}
+	m := indexRows(rows)
+	if m != nil {
+		rc.loaded++
+	}
+	return m
+}
+
+// indexRows maps one entry's rows by ID; nil when any row is malformed.
+func indexRows(rows []dataflow.Row) map[int64]*tensor.Tensor {
 	m := make(map[int64]*tensor.Tensor, len(rows))
 	for i := range rows {
 		if rows[i].Features == nil || rows[i].Features.Len() != 1 {
@@ -112,10 +144,16 @@ func (rc *runCache) load(layer int, kind featurestore.EntryKind) map[int64]*tens
 	return m
 }
 
-// cached reports whether plan step i is served from the store. Safe on a nil
-// receiver (no store configured).
+// cached reports whether plan step i is served from materialized features.
+// Safe on a nil receiver (no store or handoff configured).
 func (rc *runCache) cached(i int) bool {
 	return rc != nil && rc.steps[i] != nil
+}
+
+// sharedStep reports whether plan step i attaches from the in-memory share
+// handoff (implies cached(i)). Safe on a nil receiver.
+func (rc *runCache) sharedStep(i int) bool {
+	return rc != nil && rc.steps[i] != nil && rc.steps[i].shared
 }
 
 // cachedEmits counts the selected layers served from the store — the value
@@ -135,12 +173,18 @@ func (rc *runCache) cachedEmits(p *plan.Plan) int {
 
 // attachStep replaces one inference pass with a cache attach: each row gets
 // the stored feature vectors (and raw carry) for its ID, in the same
-// TensorList layout the live UDF would produce — and no CNN FLOPs.
+// TensorList layout the live UDF would produce — and no CNN FLOPs. Steps
+// served from a sharing group's handoff are labeled "shared:<layer>" so
+// traces distinguish a leader's fan-out from a durable-store hit.
 func (ex *executor) attachStep(name string, in *dataflow.Table, step plan.Step, sc *stepCache) (*dataflow.Table, error) {
 	if err := ex.failStage("cache"); err != nil {
 		return nil, err
 	}
-	sp := ex.stage("cache:" + step.Emits[0].LayerName)
+	label := "cache:"
+	if sc.shared {
+		label = "shared:"
+	}
+	sp := ex.stage(label + step.Emits[0].LayerName)
 	defer sp.End()
 	return ex.engine.MapPartitions(name, in, func(_ *dataflow.TaskContext, rows []dataflow.Row) ([]dataflow.Row, error) {
 		out := make([]dataflow.Row, len(rows))
@@ -170,12 +214,13 @@ func (ex *executor) attachStep(name string, in *dataflow.Table, step plan.Step, 
 }
 
 // publishStep materializes a live step's outputs back to the store — one
-// Feature entry per emitted layer, plus the raw carry for staged chains.
+// Feature entry per emitted layer, plus the raw carry for staged chains —
+// and into the share handoff's sink when the run leads a sharing group.
 // Best effort: a failed publish (e.g. driver memory pressure during Collect)
 // never fails the run that produced the features.
 func (ex *executor) publishStep(out *dataflow.Table, step plan.Step) {
 	rc := ex.cache
-	if rc == nil {
+	if rc == nil || (rc.store == nil && rc.sink == nil) {
 		return
 	}
 	rows, err := ex.engine.Collect(out)
@@ -197,7 +242,11 @@ func (ex *executor) publishStep(out *dataflow.Table, step plan.Step) {
 		if pub == nil {
 			return
 		}
-		if rc.store.Put(rc.key(layer, kind), pub) == nil {
+		k := rc.key(layer, kind)
+		if rc.sink != nil {
+			rc.sink.Publish(k, pub)
+		}
+		if rc.store != nil && rc.store.Put(k, pub) == nil {
 			ex.stored++
 		}
 	}

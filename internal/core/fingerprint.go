@@ -1,0 +1,65 @@
+package core
+
+import (
+	"repro/internal/cnn"
+	"repro/internal/featurestore"
+	"repro/internal/plan"
+)
+
+// Fingerprint is a run's sharing identity plus the election inputs a
+// coalescer needs (internal/share): two specs with equal Model, WeightsSum,
+// and DataSum materialize byte-identical feature tables under the same
+// content addresses, so one Staged pass to the larger NumLayers covers both.
+type Fingerprint struct {
+	// Model, WeightsSum, and DataSum are the featurestore.Key prefix every
+	// entry of this run shares.
+	Model      string
+	WeightsSum string
+	DataSum    string
+	// NumLayers is the spec's |L|; a group's member with the largest value
+	// can lead the shared pass, because feature layers are selected top-down
+	// (stats.TopLayerStats): every smaller member's layer set — and its
+	// Staged chain's raw-carry chain — is a subset of the leader's emits.
+	NumLayers int
+	// InferenceFLOPs estimates the run's total partial-inference compute
+	// (plan FLOPs per image × image rows): what a follower saves by
+	// attaching instead of executing.
+	InferenceFLOPs int64
+}
+
+// ShareFingerprint computes spec's sharing identity. ok is false when the
+// run cannot safely share an inference pass: non-Staged plans (Eager/Lazy
+// emit different step structures) and pre-materialized-base variants (the
+// premat pass's outputs are not published under step content addresses)
+// execute solo, as do specs that fail validation or weight realization.
+func ShareFingerprint(spec Spec) (fp Fingerprint, ok bool) {
+	if spec.PlanKind != plan.Staged || spec.PreMaterializeBase {
+		return Fingerprint{}, false
+	}
+	if err := spec.Validate(); err != nil {
+		return Fingerprint{}, false
+	}
+	model, err := cnn.ByName(spec.ModelName)
+	if err != nil {
+		return Fingerprint{}, false
+	}
+	stats, err := cnn.ComputeStats(model)
+	if err != nil {
+		return Fingerprint{}, false
+	}
+	compiled, err := plan.CompileFromStats(spec.PlanKind, spec.Placement, stats, spec.NumLayers, plan.Options{})
+	if err != nil {
+		return Fingerprint{}, false
+	}
+	w, err := model.RealizeWeights(spec.Seed)
+	if err != nil {
+		return Fingerprint{}, false
+	}
+	return Fingerprint{
+		Model:          model.Name,
+		WeightsSum:     cnn.WeightsChecksum(w),
+		DataSum:        featurestore.DataChecksum(spec.ImageRows),
+		NumLayers:      spec.NumLayers,
+		InferenceFLOPs: compiled.TotalInferenceFLOPs() * int64(len(spec.ImageRows)),
+	}, true
+}

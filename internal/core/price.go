@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/cnn"
+	"repro/internal/optimizer"
 	"repro/internal/sim"
 )
 
@@ -17,27 +18,49 @@ import (
 // infeasible workload returns optimizer.ErrNoFeasible: it cannot be priced,
 // and would not survive execution either.
 func Price(spec Spec) (int64, error) {
-	if err := spec.Validate(); err != nil {
+	_, cost, err := price(spec)
+	return cost, err
+}
+
+// PriceFollower prices spec as a sharing follower: a run that attaches its
+// group leader's feature tables instead of executing its own partial
+// inference. The group pays the leader's full Price once; each follower is
+// charged only its marginal reservation — the same decision with DL
+// Execution Memory zeroed (sim.FollowerCost), since a follower never opens a
+// DL session. This is the Eq. 16 cost-model extension that lets the
+// admission controller accept shared groups the solo pricing would have
+// serialized.
+func PriceFollower(spec Spec) (int64, error) {
+	d, _, err := price(spec)
+	if err != nil {
 		return 0, err
 	}
+	return sim.FollowerCost(d, spec.Nodes), nil
+}
+
+// price resolves spec's decision and its full admission charge.
+func price(spec Spec) (optimizer.Decision, int64, error) {
+	if err := spec.Validate(); err != nil {
+		return optimizer.Decision{}, 0, err
+	}
 	if spec.Decision != nil {
-		return sim.DecisionCost(*spec.Decision, spec.Nodes), nil
+		return *spec.Decision, sim.DecisionCost(*spec.Decision, spec.Nodes), nil
 	}
 	model, err := cnn.ByName(spec.ModelName)
 	if err != nil {
-		return 0, err
+		return optimizer.Decision{}, 0, err
 	}
 	stats, err := cnn.ComputeStats(model)
 	if err != nil {
-		return 0, err
+		return optimizer.Decision{}, 0, err
 	}
 	in, err := optimizerInputs(spec, stats)
 	if err != nil {
-		return 0, err
+		return optimizer.Decision{}, 0, err
 	}
-	_, cost, err := sim.AdmissionCost(in, spec.params())
+	d, cost, err := sim.AdmissionCost(in, spec.params())
 	if err != nil {
-		return 0, err
+		return optimizer.Decision{}, 0, err
 	}
-	return cost, nil
+	return d, cost, nil
 }

@@ -176,6 +176,7 @@ func RunContext(ctx context.Context, spec Spec) (*Result, error) {
 	}
 	report := CacheReport{
 		StagesFromCache: ex.fromCache,
+		StagesShared:    ex.fromShared,
 		StagesExecuted:  ex.executed,
 		EntriesStored:   ex.stored,
 	}
@@ -252,8 +253,8 @@ type executor struct {
 	cache    *runCache // nil when no feature store is configured
 	trace    *obs.Span // the run's root span; one child per stage
 
-	// fromCache/executed/stored feed the run's CacheReport.
-	fromCache, executed, stored int
+	// fromCache/fromShared/executed/stored feed the run's CacheReport.
+	fromCache, fromShared, executed, stored int
 }
 
 // stage opens one top-level stage span; the caller must End it.
@@ -403,7 +404,9 @@ func (ex *executor) runPasses(base *dataflow.Table, rawIdx int,
 			cleanup()
 			return nil, err
 		}
-		if ex.cache.cached(i) {
+		if ex.cache.sharedStep(i) {
+			ex.fromShared++
+		} else if ex.cache.cached(i) {
 			ex.fromCache++
 		} else {
 			ex.executed++

@@ -110,6 +110,21 @@ type Spec struct {
 	// address (model, weight checksum, image-content checksum, layer).
 	FeatureStore *featurestore.Store
 
+	// FeatureSource, when non-nil, is probed before the durable FeatureStore
+	// for each plan step's outputs — the in-memory fast path of multi-query
+	// shared inference (internal/share): a sharing follower carries its
+	// group's handoff here and attaches the leader's feature tables without
+	// opening a DL session. Stages served from the source are labeled
+	// "shared:<layer>" in the trace and counted in CacheReport.StagesShared.
+	FeatureSource FeatureSource
+
+	// FeatureSink, when non-nil, receives every materialized table a live
+	// inference step produces (same content addresses the FeatureStore would
+	// use). A sharing leader carries its group's handoff here so followers
+	// attach directly from memory; the durable store, when also configured,
+	// is written independently.
+	FeatureSink FeatureSink
+
 	// Metrics, when non-nil, receives the run's live instrumentation: the
 	// engine registers its counters and per-node pool gauges (and the
 	// feature store its hit/miss/byte series) into this registry, so an HTTP
@@ -140,6 +155,21 @@ type Spec struct {
 	Params *optimizer.Params
 	// SpillDir overrides the engine's spill directory (tests).
 	SpillDir string
+}
+
+// FeatureSource serves materialized feature tables by content address — the
+// read side of an in-memory handoff between runs sharing one inference pass
+// (implemented by share.Handoff). Lookup must return rows the caller may own
+// outright (deep copies), since each run's engine mutates its tables.
+type FeatureSource interface {
+	Lookup(k featurestore.Key) (rows []dataflow.Row, ok bool)
+}
+
+// FeatureSink receives materialized feature tables by content address — the
+// write side of the handoff (implemented by share.Handoff). Publish takes
+// ownership of rows; the executor never mutates them afterwards.
+type FeatureSink interface {
+	Publish(k featurestore.Key, rows []dataflow.Row)
 }
 
 // params returns the effective Table 1(C) parameters.
@@ -188,20 +218,26 @@ type LayerResult struct {
 // (Result.Trace): one entry per top-level stage span, in execution order.
 type StageTiming struct {
 	// Label identifies the phase: "ingest", "join", "infer:<layer>",
-	// "train:<layer>", "premat:<layer>", or "cache:<layer>" (a stage served
-	// from the feature store).
+	// "train:<layer>", "premat:<layer>", "cache:<layer>" (a stage served
+	// from the feature store), or "shared:<layer>" (a stage attached from a
+	// sharing group's in-memory handoff).
 	Label   string
 	Elapsed time.Duration
 }
 
 // CacheReport summarizes a run's interaction with the feature store.
 type CacheReport struct {
-	// Enabled is true when the spec carried a feature store.
+	// Enabled is true when the spec carried a feature store and/or a share
+	// handoff (FeatureSource/FeatureSink), i.e. cross-run reuse was possible.
 	Enabled bool `json:"enabled"`
 	// StagesFromCache and StagesExecuted split the plan's inference stages
 	// into those attached from materialized features and those run live.
 	StagesFromCache int `json:"stages_from_cache"`
 	StagesExecuted  int `json:"stages_executed"`
+	// StagesShared counts stages attached from an in-memory FeatureSource (a
+	// sharing group's handoff) rather than the durable store; such stages are
+	// not included in StagesFromCache.
+	StagesShared int `json:"stages_shared"`
 	// EntriesLoaded and EntriesStored count store entries read and written.
 	EntriesLoaded int `json:"entries_loaded"`
 	EntriesStored int `json:"entries_stored"`

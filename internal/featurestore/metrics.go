@@ -19,6 +19,12 @@ func (s *Store) RegisterMetrics(reg *obs.Registry) {
 	reg.CounterFunc("vista_featurestore_puts_total",
 		"Feature tables materialized into the store.",
 		stat(func(st Stats) int64 { return st.Puts }))
+	reg.CounterFunc("vista_featurestore_dedup_puts_total",
+		"Puts skipped because identical content was already stored.",
+		stat(func(st Stats) int64 { return st.DedupPuts }))
+	reg.CounterFunc("vista_featurestore_coalesced_total",
+		"GetOrFill callers served by another caller's in-flight fill.",
+		stat(func(st Stats) int64 { return st.Coalesced }))
 	reg.CounterFunc("vista_featurestore_evictions_total",
 		"Entries evicted to stay under the byte budget.",
 		stat(func(st Stats) int64 { return st.Evictions }))

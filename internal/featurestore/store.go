@@ -2,6 +2,7 @@ package featurestore
 
 import (
 	"container/list"
+	"crypto/sha256"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -55,6 +56,14 @@ type Store struct {
 
 	hits, misses, puts, evictions int64
 	evictedBytes                  int64
+	dedupPuts                     int64
+
+	// flightMu guards the in-flight fill registry (GetOrFill); it is
+	// separate from mu so sharers blocked on a fill never serialize plain
+	// Get/Put traffic.
+	flightMu  sync.Mutex
+	flights   map[string]*flight
+	coalesced int64
 }
 
 type storeEntry struct {
@@ -63,6 +72,19 @@ type storeEntry struct {
 	size     int64
 	lastUsed int64
 	elem     *list.Element
+	// sum is the blob's content hash, known only for entries written by this
+	// process (entries recovered from the index have hasSum == false and are
+	// never dedup candidates).
+	sum    [32]byte
+	hasSum bool
+}
+
+// flight is one in-progress fill: the first misser computes, sharers wait on
+// done and take deep copies of the result.
+type flight struct {
+	done chan struct{}
+	rows []dataflow.Row
+	err  error
 }
 
 const (
@@ -80,6 +102,13 @@ type Stats struct {
 	Puts         int64 `json:"puts"`
 	Evictions    int64 `json:"evictions"`
 	EvictedBytes int64 `json:"evicted_bytes"`
+	// DedupPuts counts Puts whose payload was byte-identical to the entry
+	// already stored under the key; the write was skipped (recency still
+	// refreshed).
+	DedupPuts int64 `json:"dedup_puts"`
+	// Coalesced counts GetOrFill callers served by another caller's
+	// in-flight fill instead of running the fill themselves.
+	Coalesced int64 `json:"coalesced"`
 }
 
 // Open loads (or creates) a store rooted at dir with the given byte budget
@@ -203,12 +232,23 @@ func (s *Store) Put(k Key, rows []dataflow.Row) error {
 		return fmt.Errorf("featurestore: encode %s: %w", k, err)
 	}
 	size := int64(len(blob))
+	sum := sha256.Sum256(blob)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.budget > 0 && size > s.budget {
 		return nil
 	}
 	id := k.id()
+	if prev, ok := s.entries[id]; ok && prev.hasSum && prev.size == size && prev.sum == sum {
+		// Identical content is already durable under this key — the classic
+		// duplicate-work race (two runs miss, both compute, both Put). Skip
+		// the disk write entirely; just refresh recency.
+		s.clock++
+		prev.lastUsed = s.clock
+		s.lru.MoveToFront(prev.elem)
+		s.dedupPuts++
+		return nil
+	}
 	// Write the new blob before touching the existing entry: writeFileAtomic
 	// replaces the old file only at its final rename, so a failed write
 	// leaves a previous entry for the same key intact on disk and in memory
@@ -235,7 +275,7 @@ func (s *Store) Put(k Key, rows []dataflow.Row) error {
 	}
 	s.evictLocked(size)
 	s.clock++
-	e := &storeEntry{key: k, id: id, size: size, lastUsed: s.clock}
+	e := &storeEntry{key: k, id: id, size: size, lastUsed: s.clock, sum: sum, hasSum: true}
 	e.elem = s.lru.PushFront(e)
 	s.entries[id] = e
 	s.used += size
@@ -249,6 +289,57 @@ func (s *Store) Put(k Key, rows []dataflow.Row) error {
 		return fmt.Errorf("featurestore: %s: %w", k, ferr)
 	}
 	return nil
+}
+
+// GetOrFill returns the rows under k, computing them at most once across
+// concurrent callers: a hit reads the store; on a miss the first caller runs
+// fill and Puts the result, while every concurrent caller for the same key
+// blocks on that flight and receives a deep copy — singleflight-style
+// coalescing that closes the duplicate-work race where two runs miss on the
+// same key and both pay the DL session. filled reports whether this caller
+// ran fill itself (false for store hits and coalesced waiters).
+func (s *Store) GetOrFill(k Key, fill func() ([]dataflow.Row, error)) (rows []dataflow.Row, filled bool, err error) {
+	id := k.id()
+	if rows, ok, err := s.Get(k); err != nil {
+		return nil, false, err
+	} else if ok {
+		return rows, false, nil
+	}
+	s.flightMu.Lock()
+	if f, ok := s.flights[id]; ok {
+		s.flightMu.Unlock()
+		<-f.done
+		if f.err != nil {
+			return nil, false, f.err
+		}
+		s.flightMu.Lock()
+		s.coalesced++
+		s.flightMu.Unlock()
+		out := make([]dataflow.Row, len(f.rows))
+		for i := range f.rows {
+			out[i] = f.rows[i].Clone()
+		}
+		return out, false, nil
+	}
+	if s.flights == nil {
+		s.flights = make(map[string]*flight)
+	}
+	f := &flight{done: make(chan struct{})}
+	s.flights[id] = f
+	s.flightMu.Unlock()
+
+	result, err := fill()
+	if err == nil {
+		// Best-effort durability: a failed Put (budget skip, disk fault)
+		// still serves the flight's sharers from memory.
+		s.Put(k, result)
+	}
+	f.rows, f.err = result, err
+	close(f.done)
+	s.flightMu.Lock()
+	delete(s.flights, id)
+	s.flightMu.Unlock()
+	return result, err == nil, err
 }
 
 // Contains reports whether k is cached, without touching recency or the
@@ -278,6 +369,9 @@ func (s *Store) CachedLayers(model, weightsSum, dataSum string, layers []int) in
 
 // Snapshot returns current counters.
 func (s *Store) Snapshot() Stats {
+	s.flightMu.Lock()
+	coalesced := s.coalesced
+	s.flightMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Stats{
@@ -289,6 +383,8 @@ func (s *Store) Snapshot() Stats {
 		Puts:         s.puts,
 		Evictions:    s.evictions,
 		EvictedBytes: s.evictedBytes,
+		DedupPuts:    s.dedupPuts,
+		Coalesced:    coalesced,
 	}
 }
 

@@ -129,6 +129,17 @@ type Decision struct {
 	SSingle, SDouble int64
 }
 
+// FollowerDecision derives the configuration a sharing follower runs under:
+// identical to d except with no DL Execution Memory, because a follower
+// attaches its group leader's materialized feature tables instead of running
+// CNN inference — it never opens a DL session, so Equation 13's replica
+// memory is not reserved. Storage and User memory stay: the follower still
+// holds the feature tables and trains its own downstream models.
+func FollowerDecision(d Decision) Decision {
+	d.MemDL = 0
+	return d
+}
+
 // Apportionment renders the decision as a per-worker memory apportionment.
 func (d Decision) Apportionment(params Params) memory.Apportionment {
 	return memory.Apportionment{

@@ -35,3 +35,13 @@ func DecisionCost(d optimizer.Decision, nodes int) int64 {
 	}
 	return int64(nodes) * (d.MemStorage + d.MemUser + d.MemDL)
 }
+
+// FollowerCost prices a run that attaches a sharing leader's feature tables
+// instead of executing its own partial-inference pass: the group is charged
+// the full AdmissionCost once, for the leader, and each follower only its
+// marginal reservation — the decision with DL Execution Memory zeroed
+// (Equation 13's replicas are never loaded), keeping Storage and User memory
+// for the attached tables and downstream training.
+func FollowerCost(d optimizer.Decision, nodes int) int64 {
+	return DecisionCost(optimizer.FollowerDecision(d), nodes)
+}

@@ -33,6 +33,11 @@ type StageComparison struct {
 	// cold-run estimate would report meaningless relative error. The render
 	// labels such rows instead of comparing them.
 	Cached bool
+	// Shared marks a stage attached from a sharing group's in-memory handoff
+	// (a follower riding its leader's pass); like Cached, the measured time
+	// is an attach, not inference, and the render labels it instead of
+	// comparing.
+	Shared bool
 }
 
 // Share returns d's fraction of total, in [0, 1] (0 when total is 0).
@@ -52,6 +57,7 @@ func share(d time.Duration, total time.Duration) float64 {
 //	premat:<l>        → the layer's InferSec (the base pass is inference)
 //	train:<l>         → the layer's TrainFirstSec + TrainRestSec + JoinSec
 //	cache:<l>         → 0 (feature-store attach; the simulator runs cold)
+//	shared:<l>        → 0 (share-handoff attach; the leader ran the pass)
 //
 // A crashed simulation (r.Crash != nil) yields all-zero estimates.
 func CompareTrace(r Result, trace *obs.Span) []StageComparison {
@@ -85,6 +91,7 @@ func CompareTrace(r Result, trace *obs.Span) []StageComparison {
 			Estimated: time.Duration(estimate(sp.Name()) * float64(time.Second)),
 			Measured:  sp.Duration(),
 			Cached:    strings.HasPrefix(sp.Name(), "cache:"),
+			Shared:    strings.HasPrefix(sp.Name(), "shared:"),
 		}
 	}
 	return out
@@ -109,6 +116,9 @@ func RenderComparison(w io.Writer, comps []StageComparison) {
 		note := ""
 		if c.Cached {
 			note = "  (cached: feature-store attach, not modeled)"
+		}
+		if c.Shared {
+			note = "  (shared: leader's pass attached, not modeled)"
 		}
 		fmt.Fprintf(w, "%-*s  %12s %6.1f%%  %12s %6.1f%%%s\n", width, c.Stage,
 			formatSec(c.Estimated), 100*share(c.Estimated, estTotal),

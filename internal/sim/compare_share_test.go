@@ -1,0 +1,93 @@
+package sim_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/dataflow"
+	"repro/internal/featurestore"
+	"repro/internal/memory"
+	"repro/internal/sim"
+)
+
+// memHandoff is a minimal in-memory FeatureSource/FeatureSink pair standing
+// in for internal/share's group handoff, so this test exercises only the
+// trace-comparison contract.
+type memHandoff struct {
+	m map[featurestore.Key][]dataflow.Row
+}
+
+func (h *memHandoff) Publish(k featurestore.Key, rows []dataflow.Row) { h.m[k] = rows }
+func (h *memHandoff) Lookup(k featurestore.Key) ([]dataflow.Row, bool) {
+	rows, ok := h.m[k]
+	return rows, ok
+}
+
+// TestCompareTraceFlagsSharedStages mirrors the feature-store Cached-flag
+// test for the share path: a follower whose inference stages attach from a
+// leader's handoff must surface as Shared rows with a zero estimate, and the
+// render must label them.
+func TestCompareTraceFlagsSharedStages(t *testing.T) {
+	structRows, imageRows, err := data.Generate(data.Foods().WithRows(80))
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	spec := core.Spec{
+		Nodes: 2, CoresPerNode: 2, MemPerNode: memory.GB(32),
+		SystemKind: memory.SparkLike,
+		ModelName:  "tiny-alexnet", NumLayers: 2,
+		Downstream: core.DefaultDownstream(),
+		StructRows: structRows, ImageRows: imageRows, Seed: 3,
+	}
+	h := &memHandoff{m: make(map[featurestore.Key][]dataflow.Row)}
+	leaderSpec := spec
+	leaderSpec.FeatureSink = h
+	if _, err := core.Run(leaderSpec); err != nil {
+		t.Fatalf("leader run: %v", err)
+	}
+	followerSpec := spec
+	followerSpec.FeatureSource = h
+	follower, err := core.Run(followerSpec)
+	if err != nil {
+		t.Fatalf("follower run: %v", err)
+	}
+	if follower.Cache.StagesShared == 0 {
+		t.Fatalf("follower attached no shared stages: %+v", follower.Cache)
+	}
+
+	simRes := simulateLike(t, structRows, imageRows, 2, 2, 2, 32)
+	if simRes.Crash != nil {
+		t.Fatalf("simulated run crashed: %v", simRes.Crash)
+	}
+	comps := sim.CompareTrace(simRes, follower.Trace)
+	var sharedRows int
+	for _, c := range comps {
+		if strings.HasPrefix(c.Stage, "shared:") {
+			sharedRows++
+			if !c.Shared {
+				t.Errorf("%s not flagged Shared", c.Stage)
+			}
+			if c.Cached {
+				t.Errorf("%s flagged Cached; the handoff is not the feature store", c.Stage)
+			}
+			if c.Estimated != 0 {
+				t.Errorf("%s estimated %v, want 0 (simulator runs the pass live)", c.Stage, c.Estimated)
+			}
+			if c.Measured <= 0 {
+				t.Errorf("%s lost its measurement", c.Stage)
+			}
+		} else if c.Shared {
+			t.Errorf("%s flagged Shared without a shared: label", c.Stage)
+		}
+	}
+	if sharedRows != follower.Cache.StagesShared {
+		t.Errorf("shared rows = %d, want %d", sharedRows, follower.Cache.StagesShared)
+	}
+	var b strings.Builder
+	sim.RenderComparison(&b, comps)
+	if !strings.Contains(b.String(), "(shared: leader's pass attached, not modeled)") {
+		t.Errorf("render missing the shared label:\n%s", b.String())
+	}
+}

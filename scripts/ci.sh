@@ -23,13 +23,15 @@ go build ./...
 
 echo "== go test -race =="
 # The full chaos schedule set is too slow under the race detector; it gets a
-# dedicated -short smoke below plus a full non-race run.
-go test -race $(go list ./... | grep -v '/internal/chaos$')
+# dedicated -short smoke below plus a full non-race run. internal/experiments
+# alone runs ~4 min without -race, so the default 10m per-package timeout is
+# too tight under the race detector's overhead.
+go test -race -timeout 30m $(go list ./... | grep -v '/internal/chaos$')
 
 echo "== go test -race (fault-injection critical packages) =="
 # Armed-at-exit is enforced by each package's TestMain: a test that leaves a
 # failpoint site armed fails the package even when every test passed.
-go test -race -count=1 ./internal/faultinject/... ./internal/dataflow ./internal/featurestore
+go test -race -count=1 ./internal/faultinject/... ./internal/dataflow ./internal/featurestore ./internal/share
 
 echo "== chaos: -race short smoke =="
 go test -race -short -count=1 ./internal/chaos

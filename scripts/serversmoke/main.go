@@ -10,6 +10,11 @@
 //   - in-flight bytes and queue depth drain to zero once the flood ends;
 //   - SIGTERM produces a clean exit.
 //
+// A second phase reboots the server with -share and floods it with identical
+// requests, asserting the shared-inference contract: every admitted run takes
+// exactly one sharing role (leader + follower + solo == admitted), followers
+// deduplicated real modeled FLOPs, and the coordinator gauges drain to zero.
+//
 // Usage: go run ./scripts/serversmoke -server /path/to/vista-server
 package main
 
@@ -45,6 +50,9 @@ func main() {
 		fatal("missing -server")
 	}
 	if err := smoke(*server); err != nil {
+		fatal(err.Error())
+	}
+	if err := shareSmoke(*server); err != nil {
 		fatal(err.Error())
 	}
 	fmt.Println("serversmoke: OK")
@@ -189,6 +197,125 @@ func smoke(server string) error {
 	}
 
 	// Clean drain on shutdown.
+	if err := stopServer(cmd); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "serversmoke: %d requests -> %v (budget %d MiB)\n", parallel, codes, budgetMiB)
+	return nil
+}
+
+// shareSmoke is the second phase: the same binary rebooted with -share and a
+// budget that fits the whole flood, hit with identical requests that must
+// coalesce into one sharing group.
+func shareSmoke(server string) error {
+	cost, err := price()
+	if err != nil {
+		return fmt.Errorf("price: %w", err)
+	}
+	budgetMiB := (int64(parallel)*cost + (1 << 20) - 1) >> 20 // everything admits
+	addr, err := freePort()
+	if err != nil {
+		return err
+	}
+
+	cmd := exec.Command(server,
+		"-addr", addr,
+		"-feature-cache-mb", "0",
+		"-mem-budget", strconv.FormatInt(budgetMiB, 10),
+		"-queue-depth", strconv.Itoa(parallel),
+		"-queue-timeout", "30s",
+		"-share",
+		"-share-window", "500ms",
+	)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("start server: %w", err)
+	}
+	defer cmd.Process.Kill()
+
+	base := "http://" + addr
+	if err := waitHealthy(base); err != nil {
+		return err
+	}
+
+	var mu sync.Mutex
+	codes := map[int]int{}
+	var wg sync.WaitGroup
+	wg.Add(parallel)
+	body := fmt.Sprintf(`{"model":"tiny-alexnet","dataset":"foods","rows":%d,"layers":%d}`, rows, layers)
+	for i := 0; i < parallel; i++ {
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(base+"/run", "application/json", strings.NewReader(body))
+			if err != nil {
+				mu.Lock()
+				codes[-1]++
+				mu.Unlock()
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			mu.Lock()
+			codes[resp.StatusCode]++
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+
+	if codes[-1] > 0 {
+		return fmt.Errorf("share: %d requests failed at the transport layer", codes[-1])
+	}
+	if codes[http.StatusOK] != parallel {
+		return fmt.Errorf("share: %d/%d requests succeeded (codes: %v)", codes[http.StatusOK], parallel, codes)
+	}
+
+	metrics, err := scrape(base)
+	if err != nil {
+		return err
+	}
+	admitted := metrics["vista_admission_admitted_total"]
+	roles := metrics[`vista_share_runs_total{role="leader"}`] +
+		metrics[`vista_share_runs_total{role="follower"}`] +
+		metrics[`vista_share_runs_total{role="solo"}`]
+	if roles != admitted {
+		return fmt.Errorf("share: roles sum to %v, admitted %v — a run escaped the exactly-one-outcome invariant", roles, admitted)
+	}
+	if metrics[`vista_share_runs_total{role="follower"}`] == 0 {
+		return fmt.Errorf("share: identical flood produced no followers (metrics: leader=%v solo=%v)",
+			metrics[`vista_share_runs_total{role="leader"}`], metrics[`vista_share_runs_total{role="solo"}`])
+	}
+	if metrics["vista_share_dedup_flops_total"] <= 0 {
+		return fmt.Errorf("share: dedup FLOPs = %v, want > 0", metrics["vista_share_dedup_flops_total"])
+	}
+	for _, gauge := range []string{
+		"vista_share_open_groups",
+		"vista_share_waiting_members",
+		"vista_share_live_groups",
+		"vista_admission_inflight_bytes",
+		"vista_admission_inflight_runs",
+	} {
+		if v := metrics[gauge]; v != 0 {
+			return fmt.Errorf("share: %s = %v after drain, want 0", gauge, v)
+		}
+	}
+	if metrics["vista_share_aborted_total"] != 0 {
+		return fmt.Errorf("share: aborted = %v with no failures", metrics["vista_share_aborted_total"])
+	}
+
+	if err := stopServer(cmd); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "serversmoke: share phase %d identical requests -> leaders=%v followers=%v dedupFLOPs=%v\n",
+		parallel,
+		metrics[`vista_share_runs_total{role="leader"}`],
+		metrics[`vista_share_runs_total{role="follower"}`],
+		metrics["vista_share_dedup_flops_total"])
+	return nil
+}
+
+// stopServer SIGTERMs the server and requires a clean, prompt exit.
+func stopServer(cmd *exec.Cmd) error {
 	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		return fmt.Errorf("signal server: %w", err)
 	}
@@ -202,7 +329,6 @@ func smoke(server string) error {
 	case <-time.After(15 * time.Second):
 		return fmt.Errorf("server did not exit within 15s of SIGTERM")
 	}
-	fmt.Fprintf(os.Stderr, "serversmoke: %d requests -> %v (budget %d MiB)\n", parallel, codes, budgetMiB)
 	return nil
 }
 
