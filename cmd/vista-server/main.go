@@ -58,6 +58,7 @@ import (
 	"time"
 
 	"repro/internal/featurestore"
+	"repro/internal/tensor"
 )
 
 // shutdownTimeout bounds how long in-flight requests may drain after
@@ -84,6 +85,10 @@ func main() {
 		"enable multi-query shared inference: concurrent /run requests on the same (model, weights, data) coalesce into one shared partial-CNN pass")
 	shareWindow := flag.Duration("share-window", defaultShareWindow,
 		"how long the first /run of a sharing group holds the group open for identical requests (requires -share)")
+	convWorkers := flag.Int("conv-workers", 0,
+		"process-wide CNN compute parallelism: worker cap shared by GEMM convolution tiles and batch-row inference (0 = GOMAXPROCS); see docs/OPERATIONS.md for tuning under admission control")
+	convDirect := flag.Bool("conv-direct", false,
+		"route convolutions through the direct-loop reference kernel instead of im2col+GEMM (parity escape hatch; slow)")
 	flag.Parse()
 	if *memBudget < 0 || *queueDepth < 0 || *queueTimeout < 0 || *runHistory < 0 {
 		fmt.Fprintln(os.Stderr, "vista-server: -mem-budget, -queue-depth, -queue-timeout, and -run-history must be >= 0")
@@ -93,6 +98,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "vista-server: -share-window must be positive when -share is set")
 		os.Exit(2)
 	}
+	if *convWorkers < 0 {
+		fmt.Fprintln(os.Stderr, "vista-server: -conv-workers must be >= 0")
+		os.Exit(2)
+	}
+	tensor.SetConvWorkers(*convWorkers)
+	tensor.SetUseDirect(*convDirect)
+	log.Printf("conv kernels: %d workers, direct=%v", tensor.ConvWorkers(), tensor.UseDirect())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -180,6 +180,13 @@ func (m *Model) Infer(w *Weights, in *tensor.Tensor) (*tensor.Tensor, error) {
 // PartialInfer computes partial CNN inference f̂_{from→to} (Definition 3.7):
 // it applies Layers[from..to] (inclusive) to in, which must be
 // shape-compatible with Layers[from].
+//
+// Intermediate activations are recycled into the tensor slab pool as soon as
+// the next layer has consumed them, so a batch of rows advancing through the
+// same layer range reuses a fixed working set instead of allocating one
+// tensor per layer per row. The function input and the returned tensor are
+// never recycled, and an intermediate is kept whenever the next layer's
+// output aliases its storage (in-place layers).
 func (m *Model) PartialInfer(w *Weights, in *tensor.Tensor, from, to int) (*tensor.Tensor, error) {
 	if from < 0 || to >= len(m.Layers) || from > to {
 		return nil, fmt.Errorf("cnn: invalid layer range [%d,%d] for %s", from, to, m.Name)
@@ -188,11 +195,15 @@ func (m *Model) PartialInfer(w *Weights, in *tensor.Tensor, from, to int) (*tens
 		return nil, fmt.Errorf("cnn: weights not realized for model %s", m.Name)
 	}
 	t := in
-	var err error
 	for i := from; i <= to; i++ {
-		if t, err = m.Layers[i].Apply(t, w.Layers[i]); err != nil {
+		next, err := m.Layers[i].Apply(t, w.Layers[i])
+		if err != nil {
 			return nil, err
 		}
+		if t != in && !tensor.SameStorage(next, t) {
+			tensor.Recycle(t)
+		}
+		t = next
 	}
 	return t, nil
 }

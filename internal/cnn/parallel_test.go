@@ -1,0 +1,117 @@
+package cnn
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/tensor"
+)
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if sites := faultinject.ArmedSites(); len(sites) > 0 {
+		fmt.Fprintf(os.Stderr, "failpoint sites left armed at exit: %v\n", sites)
+		if code == 0 {
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// TestParallelInferSharedModel runs full inference concurrently over one
+// shared model and weight set — the server's concurrent-runs shape. Under
+// -race it asserts the GEMM worker pool, slab recycling inside PartialInfer,
+// and the read-only weight sharing are goroutine-clean; the value check
+// asserts concurrent inferences do not contaminate each other's activations.
+func TestParallelInferSharedModel(t *testing.T) {
+	for _, name := range []string{"tiny-alexnet", "tiny-resnet50", "tiny-densenet"} {
+		t.Run(name, func(t *testing.T) {
+			m, err := ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w, err := m.RealizeWeights(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			imgs := []*tensor.Tensor{randImage(m, 1), randImage(m, 2), randImage(m, 3)}
+			wants := make([]*tensor.Tensor, len(imgs))
+			for i, img := range imgs {
+				if wants[i], err = m.Infer(w, img); err != nil {
+					t.Fatal(err)
+				}
+			}
+			const goroutines = 6
+			var wg sync.WaitGroup
+			errs := make([]error, goroutines)
+			wg.Add(goroutines)
+			for g := 0; g < goroutines; g++ {
+				go func(g int) {
+					defer wg.Done()
+					for iter := 0; iter < 4; iter++ {
+						i := (g + iter) % len(imgs)
+						got, err := m.Infer(w, imgs[i])
+						if err != nil {
+							errs[g] = err
+							return
+						}
+						for j, v := range got.Data() {
+							if math.Abs(float64(v-wants[i].Data()[j])) > 1e-4 {
+								errs[g] = fmt.Errorf("goroutine %d iter %d: output[%d] = %v, want %v",
+									g, iter, j, v, wants[i].Data()[j])
+								return
+							}
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestInferMatchesDirectKernel pins end-to-end model inference between the
+// GEMM and direct convolution kernels: same weights, same image, outputs
+// within parity tolerance. This is the model-level arm of the escape-hatch
+// contract.
+func TestInferMatchesDirectKernel(t *testing.T) {
+	defer tensor.SetUseDirect(false)
+	for _, name := range []string{"tiny-alexnet", "tiny-vgg16", "tiny-resnet50", "tiny-densenet"} {
+		m, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := m.RealizeWeights(7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		img := randImage(m, 9)
+		tensor.SetUseDirect(true)
+		direct, err := m.Infer(w, img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tensor.SetUseDirect(false)
+		gemm, err := m.Infer(w, img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !gemm.Shape().Equal(direct.Shape()) {
+			t.Fatalf("%s: shape %v vs %v", name, gemm.Shape(), direct.Shape())
+		}
+		for i, v := range gemm.Data() {
+			if math.Abs(float64(v-direct.Data()[i])) > 1e-3 {
+				t.Fatalf("%s: output[%d] = %v (gemm) vs %v (direct)", name, i, v, direct.Data()[i])
+			}
+		}
+	}
+}

@@ -3,6 +3,7 @@ package dl
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/cnn"
 	"repro/internal/dataflow"
@@ -220,47 +221,77 @@ func (s *Session) PartitionFunc(spec InferenceSpec) (dataflow.PartitionFunc, err
 			return nil, fmt.Errorf("dl: partition %d batch buffer: %w", tc.Part, err)
 		}
 		out := make([]Row, len(in))
-		for i := range in {
-			r := in[i] // shallow copy; payloads are replaced below
-			t, err := s.inputTensor(&in[i], spec)
-			if err != nil {
-				return nil, fmt.Errorf("dl: partition %d row %d: %w", tc.Part, in[i].ID, err)
+		// Rows are independent, so the batch fans out over the bounded
+		// compute-worker pool (intra-stage parallelism); when the pool is
+		// saturated by other partitions or by tile-level conv workers, rows
+		// simply run inline on this goroutine. The first row error wins;
+		// remaining rows still run but their results are discarded.
+		var (
+			errOnce sync.Once
+			rowErr  error
+		)
+		tensor.ParallelFor(len(in), func(i int) {
+			if err := s.inferRow(tc, &in[i], &out[i], spec, emits, last); err != nil {
+				errOnce.Do(func() { rowErr = err })
 			}
-			features := tensor.NewTensorList()
-			if !spec.DropInput && in[i].Features != nil {
-				for j := 0; j < in[i].Features.Len(); j++ {
-					features.Append(in[i].Features.Get(j))
-				}
-			}
-			cursor := spec.From
-			for _, emit := range emits {
-				if t, err = s.model.PartialInfer(s.weights, t, cursor, emit); err != nil {
-					return nil, err
-				}
-				cursor = emit + 1
-				vec, err := cnn.FeatureVector(t)
-				if err != nil {
-					return nil, err
-				}
-				features.Append(vec)
-			}
-			if cursor <= last {
-				if t, err = s.model.PartialInfer(s.weights, t, cursor, last); err != nil {
-					return nil, err
-				}
-			}
-			if spec.KeepRawAt >= 0 {
-				features.Append(t)
-			}
-			r.Features = features
-			if spec.FromImage {
-				r.Image = nil // decoded and consumed; drop the raw payload
-			}
-			out[i] = r
+		})
+		if rowErr != nil {
+			return nil, rowErr
 		}
 		tc.AddFLOPs(perRowFLOPs * int64(len(in)))
 		return out, nil
 	}, nil
+}
+
+// inferRow advances one row's input tensor through the spec's layer range,
+// emitting pooled feature vectors at the requested layers. It is invoked
+// concurrently for the rows of a batch; the session's model and weights are
+// read-only during inference.
+func (s *Session) inferRow(tc *dataflow.TaskContext, in *Row, out *Row, spec InferenceSpec, emits []int, last int) error {
+	r := *in // shallow copy; payloads are replaced below
+	t, err := s.inputTensor(in, spec)
+	if err != nil {
+		return fmt.Errorf("dl: partition %d row %d: %w", tc.Part, in.ID, err)
+	}
+	features := tensor.NewTensorList()
+	if !spec.DropInput && in.Features != nil {
+		for j := 0; j < in.Features.Len(); j++ {
+			features.Append(in.Features.Get(j))
+		}
+	}
+	input := t
+	cursor := spec.From
+	for _, emit := range emits {
+		if t, err = s.model.PartialInfer(s.weights, t, cursor, emit); err != nil {
+			return err
+		}
+		cursor = emit + 1
+		vec, err := cnn.FeatureVector(t)
+		if err != nil {
+			return err
+		}
+		features.Append(vec)
+	}
+	if cursor <= last {
+		if t, err = s.model.PartialInfer(s.weights, t, cursor, last); err != nil {
+			return err
+		}
+	}
+	if spec.KeepRawAt >= 0 {
+		features.Append(t)
+	} else if len(t.Shape()) == 3 && !tensor.SameStorage(t, input) {
+		// The raw output of the last computed layer is dropped, and no
+		// emitted feature can alias a CHW tensor (FeatureVector pools CHW
+		// outputs into fresh storage), so its slab goes back to the pool for
+		// the next row.
+		tensor.Recycle(t)
+	}
+	r.Features = features
+	if spec.FromImage {
+		r.Image = nil // decoded and consumed; drop the raw payload
+	}
+	*out = r
+	return nil
 }
 
 // Row aliases dataflow.Row for UDF signatures.

@@ -1,0 +1,121 @@
+package tensor
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// This file implements the buffer arena behind the GEMM convolution path: a
+// set of size-classed sync.Pools of float32 slabs that column buffers,
+// activation tensors, and per-worker scratch draw from, so steady-state
+// inference over a batch of rows recycles a fixed working set instead of
+// allocating fresh tensors per call and leaning on the garbage collector.
+//
+// Slabs are handed out dirty: every consumer must overwrite the full slice it
+// requested. The convolution/pool kernels all write every output element, so
+// no zeroing pass is needed on the hot path.
+
+// minSlabClass is the smallest pooled slab size (2^minSlabClass float32s);
+// requests below it are padded up. maxSlabClass bounds pooling: larger
+// requests fall through to plain make and are dropped on recycle, so a
+// one-off giant tensor cannot pin memory in the pool forever.
+const (
+	minSlabClass = 8  // 256 floats = 1 KiB
+	maxSlabClass = 24 // 16 Mi floats = 64 MiB
+)
+
+// slabPools[c] holds slices with cap exactly 2^c.
+var slabPools [maxSlabClass + 1]sync.Pool
+
+// slabClass returns the pool class for a request of n floats, or -1 when the
+// request is too large to pool.
+func slabClass(n int) int {
+	if n <= 0 {
+		return minSlabClass
+	}
+	c := bits.Len(uint(n - 1)) // ceil(log2 n)
+	if c < minSlabClass {
+		return minSlabClass
+	}
+	if c > maxSlabClass {
+		return -1
+	}
+	return c
+}
+
+// getSlab returns a length-n float32 slice with undefined contents, drawn
+// from the slab pool when a recycled slab of the right class is available.
+func getSlab(n int) []float32 {
+	c := slabClass(n)
+	if c < 0 {
+		return make([]float32, n)
+	}
+	if v := slabPools[c].Get(); v != nil {
+		return (*(v.(*[]float32)))[:n]
+	}
+	return make([]float32, n, 1<<c)
+}
+
+// putSlab returns a slab obtained from getSlab (or any float32 slice) to the
+// pool. Slices whose capacity is not an exact pooled class are dropped.
+func putSlab(s []float32) {
+	c := slabClass(cap(s))
+	if c < 0 || cap(s) != 1<<c {
+		return
+	}
+	full := s[:cap(s)]
+	slabPools[c].Put(&full)
+}
+
+// newUninit allocates a tensor whose storage comes from the slab pool and is
+// NOT zeroed. Callers must write every element. It is the allocation used by
+// kernels that fully overwrite their output (GEMM conv, pooling).
+func newUninit(shape ...int) *Tensor {
+	s := Shape(shape)
+	return &Tensor{shape: s.Clone(), data: getSlab(s.NumElements())}
+}
+
+// Recycle returns the tensor's storage to the slab pool and invalidates the
+// tensor: any later access panics rather than silently reading reused memory.
+// Only recycle tensors that are provably unreachable — in particular never a
+// tensor that another tensor aliases (Flatten/Reshape views share storage).
+func Recycle(t *Tensor) {
+	if t == nil || t.data == nil {
+		return
+	}
+	putSlab(t.data)
+	t.data = nil
+}
+
+// SameStorage reports whether two tensors share the same backing array. All
+// aliasing ops in this package (Flatten, Reshape, in-place ops returning
+// their input) preserve the base pointer, so comparing first elements is a
+// sound alias check for storage produced here.
+func SameStorage(a, b *Tensor) bool {
+	return a != nil && b != nil && len(a.data) > 0 && len(b.data) > 0 && &a.data[0] == &b.data[0]
+}
+
+// Arena is a per-goroutine scratch allocator over the slab pool: Get hands
+// out dirty slabs and Release returns everything obtained so far in one call.
+// It is not safe for concurrent use; give each worker goroutine its own.
+type Arena struct {
+	held [][]float32
+}
+
+// Get returns a length-n scratch slice with undefined contents, owned by the
+// arena until Release.
+func (a *Arena) Get(n int) []float32 {
+	s := getSlab(n)
+	a.held = append(a.held, s)
+	return s
+}
+
+// Release returns every outstanding Get slice to the slab pool. The caller
+// must not touch previously returned slices afterwards.
+func (a *Arena) Release() {
+	for i, s := range a.held {
+		putSlab(s)
+		a.held[i] = nil
+	}
+	a.held = a.held[:0]
+}

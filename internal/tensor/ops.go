@@ -33,10 +33,36 @@ func (c Conv2DSpec) WeightCount() int {
 	return c.OutChannels * c.InChannels * c.Kernel * c.Kernel
 }
 
-// Conv2D computes a direct 2-D convolution of the CHW input with the given
-// filter weights (layout [out][in][kh][kw], row-major) and per-output-channel
-// biases. It returns a new CHW tensor.
+// Conv2D computes a 2-D convolution of the CHW input with the given filter
+// weights (layout [out][in][kh][kw], row-major) and per-output-channel
+// biases, returning a new CHW tensor. By default it runs the im2col +
+// blocked-GEMM kernel (gemm.go); SetUseDirect(true) routes it through the
+// direct-loop reference kernel instead.
 func Conv2D(in *Tensor, spec Conv2DSpec, weights, bias []float32) (*Tensor, error) {
+	outShape, err := conv2DCheck(in, spec, weights, bias)
+	if err != nil {
+		return nil, err
+	}
+	if useDirect.Load() {
+		return conv2DDirect(in, spec, weights, bias, outShape), nil
+	}
+	return conv2DGEMM(in, spec, weights, bias, outShape)
+}
+
+// Conv2DDirect computes the convolution with the direct (non-GEMM) reference
+// kernel regardless of the UseDirect setting. The parity test suite asserts
+// Conv2D against it across the geometry grid.
+func Conv2DDirect(in *Tensor, spec Conv2DSpec, weights, bias []float32) (*Tensor, error) {
+	outShape, err := conv2DCheck(in, spec, weights, bias)
+	if err != nil {
+		return nil, err
+	}
+	return conv2DDirect(in, spec, weights, bias, outShape), nil
+}
+
+// conv2DCheck validates a convolution's input, weight, and bias shapes and
+// returns the output shape.
+func conv2DCheck(in *Tensor, spec Conv2DSpec, weights, bias []float32) (Shape, error) {
 	outShape, err := spec.OutShape(in.Shape())
 	if err != nil {
 		return nil, err
@@ -47,6 +73,12 @@ func Conv2D(in *Tensor, spec Conv2DSpec, weights, bias []float32) (*Tensor, erro
 	if len(bias) != spec.OutChannels {
 		return nil, fmt.Errorf("%w: conv2d bias len %d, want %d", ErrShape, len(bias), spec.OutChannels)
 	}
+	return outShape, nil
+}
+
+// conv2DDirect is the naive triple-loop convolution, kept as the permanent
+// reference implementation for the GEMM path.
+func conv2DDirect(in *Tensor, spec Conv2DSpec, weights, bias []float32, outShape Shape) *Tensor {
 	inH, inW := in.Shape()[1], in.Shape()[2]
 	outH, outW := outShape[1], outShape[2]
 	out := New(outShape...)
@@ -85,7 +117,7 @@ func Conv2D(in *Tensor, spec Conv2DSpec, weights, bias []float32) (*Tensor, erro
 			}
 		}
 	}
-	return out, nil
+	return out
 }
 
 // PoolSpec describes a 2-D pooling window over a CHW input.
@@ -175,36 +207,78 @@ func pool2D(in *Tensor, spec PoolSpec, max bool) (*Tensor, error) {
 	return out, nil
 }
 
+// gridAxis returns the kernel, stride, and output extent that reduce one
+// spatial axis of length n to the grid target. Axes already at or below the
+// target pass through with an identity 1/1 window.
+func gridAxis(n, grid int) (kernel, stride, out int) {
+	if n <= grid {
+		return 1, 1, n
+	}
+	stride = n / grid
+	kernel = n - (grid-1)*stride
+	return kernel, stride, grid
+}
+
 // GridMaxPool reduces a CHW feature map to a (C, grid, grid) tensor using max
-// pooling with the window and stride chosen to produce a grid×grid output.
-// This implements the dimensionality-reduction pooling the paper applies to
+// pooling with per-axis window and stride chosen to produce a grid×grid
+// output; an axis already at or below the target passes through unchanged, so
+// non-square inputs reduce correctly on each axis independently. This
+// implements the dimensionality-reduction pooling the paper applies to
 // convolutional feature layers before downstream training (Section 5,
 // footnote 4: "filter width and stride for max pooling are set to reduce the
 // feature tensor to a 2x2 grid of the same depth").
+//
+// The result never aliases the input, even when no reduction is needed:
+// callers hand pooled features to downstream in-place ops, and an aliased
+// return would let them corrupt the source feature map.
 func GridMaxPool(in *Tensor, grid int) (*Tensor, error) {
 	s := in.Shape()
 	if len(s) != 3 {
 		return nil, fmt.Errorf("%w: GridMaxPool expects CHW, got %v", ErrShape, s)
 	}
-	if s[1] <= grid || s[2] <= grid {
-		// Already at or below target resolution; nothing to reduce.
-		return in, nil
+	if grid <= 0 {
+		return nil, fmt.Errorf("%w: GridMaxPool grid %d", ErrShape, grid)
 	}
-	stride := s[1] / grid
-	kernel := s[1] - (grid-1)*stride
-	return MaxPool2D(in, PoolSpec{Kernel: kernel, Stride: stride})
+	if s[1] <= grid && s[2] <= grid {
+		// Already at or below target resolution; nothing to reduce. Clone so
+		// the caller owns its result and cannot mutate the source map.
+		return in.Clone(), nil
+	}
+	kh, sh, outH := gridAxis(s[1], grid)
+	kw, sw, outW := gridAxis(s[2], grid)
+	c, inH, inW := s[0], s[1], s[2]
+	out := newUninit(c, outH, outW)
+	src, dst := in.Data(), out.Data()
+	for ch := 0; ch < c; ch++ {
+		sBase := ch * inH * inW
+		for oy := 0; oy < outH; oy++ {
+			iy0 := oy * sh
+			for ox := 0; ox < outW; ox++ {
+				ix0 := ox * sw
+				acc := float32(math.Inf(-1))
+				for ky := 0; ky < kh; ky++ {
+					rowBase := sBase + (iy0+ky)*inW
+					for kx := 0; kx < kw; kx++ {
+						if v := src[rowBase+ix0+kx]; v > acc {
+							acc = v
+						}
+					}
+				}
+				dst[(ch*outH+oy)*outW+ox] = acc
+			}
+		}
+	}
+	return out, nil
 }
 
 // GridPooledShape returns the shape GridMaxPool would produce for the given
 // input shape without computing anything.
 func GridPooledShape(in Shape, grid int) Shape {
-	if len(in) != 3 || in[1] <= grid || in[2] <= grid {
+	if len(in) != 3 || grid <= 0 || (in[1] <= grid && in[2] <= grid) {
 		return in.Clone()
 	}
-	stride := in[1] / grid
-	kernel := in[1] - (grid-1)*stride
-	h := (in[1]-kernel)/stride + 1
-	w := (in[2]-kernel)/stride + 1
+	_, _, h := gridAxis(in[1], grid)
+	_, _, w := gridAxis(in[2], grid)
 	return Shape{in[0], h, w}
 }
 
@@ -269,7 +343,27 @@ func MatVec(w []float32, rows, cols int, x, b []float32) ([]float32, error) {
 			ErrShape, rows, cols, len(w), len(x), len(b))
 	}
 	out := make([]float32, rows)
-	for r := 0; r < rows; r++ {
+	r := 0
+	// Four rows per pass: one stream over x feeds four dot-product
+	// accumulators, quartering the loop overhead on large FC layers.
+	for ; r+4 <= rows; r += 4 {
+		w0 := w[r*cols : r*cols+cols]
+		w1 := w[(r+1)*cols : (r+1)*cols+cols]
+		w2 := w[(r+2)*cols : (r+2)*cols+cols]
+		w3 := w[(r+3)*cols : (r+3)*cols+cols]
+		var s0, s1, s2, s3 float32
+		for c, xv := range x[:cols] {
+			s0 += w0[c] * xv
+			s1 += w1[c] * xv
+			s2 += w2[c] * xv
+			s3 += w3[c] * xv
+		}
+		out[r] = s0 + b[r]
+		out[r+1] = s1 + b[r+1]
+		out[r+2] = s2 + b[r+2]
+		out[r+3] = s3 + b[r+3]
+	}
+	for ; r < rows; r++ {
 		base := r * cols
 		sum := b[r]
 		for c, xv := range x {

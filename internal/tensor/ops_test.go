@@ -178,17 +178,92 @@ func TestGridMaxPool(t *testing.T) {
 	}
 }
 
-func TestGridMaxPoolNoOpWhenSmall(t *testing.T) {
+// TestGridMaxPoolNoAliasWhenSmall is the regression test for the aliasing
+// corruption bug: GridMaxPool used to return the input tensor itself when the
+// map was already at or below the grid size, so downstream in-place ops
+// (ReLU, BatchNorm, AddInPlace) on the pooled result silently corrupted
+// feature tables handed out by the feature store and share.Handoff. The
+// pooled result must be value-identical but storage-independent.
+func TestGridMaxPoolNoAliasWhenSmall(t *testing.T) {
 	in := New(5, 2, 2)
+	for i := range in.Data() {
+		in.Data()[i] = float32(i + 1)
+	}
+	cached := in.Clone() // stands in for a feature-store/handoff copy
 	out, err := GridMaxPool(in, 2)
 	if err != nil {
 		t.Fatalf("GridMaxPool: %v", err)
 	}
-	if out != in {
-		t.Error("expected pass-through for input already at grid size")
+	if !out.Shape().Equal(in.Shape()) {
+		t.Fatalf("shape = %v, want %v", out.Shape(), in.Shape())
+	}
+	for i, v := range out.Data() {
+		if v != in.Data()[i] {
+			t.Fatalf("pooled[%d] = %v, want %v", i, v, in.Data()[i])
+		}
+	}
+	if SameStorage(out, in) {
+		t.Fatal("GridMaxPool returned the input aliased; downstream in-place ops would corrupt the source")
+	}
+	// Mutate the pooled result the way a downstream in-place op would; the
+	// source map and its cached copy must be untouched.
+	ReLU(out)
+	out.Fill(-42)
+	for i, v := range in.Data() {
+		if v != float32(i+1) {
+			t.Fatalf("source[%d] corrupted to %v after mutating pooled result", i, v)
+		}
+		if cached.Data()[i] != float32(i+1) {
+			t.Fatalf("cached copy[%d] corrupted to %v", i, cached.Data()[i])
+		}
 	}
 	if !GridPooledShape(in.Shape(), 2).Equal(in.Shape()) {
 		t.Error("GridPooledShape should be identity for small inputs")
+	}
+}
+
+// TestGridMaxPoolNonSquare covers the per-axis kernel/stride derivation:
+// height and width reduce independently, so non-square CHW inputs land on an
+// exact grid (or pass an already-small axis through), and GridPooledShape
+// agrees with the computed output for every case.
+func TestGridMaxPoolNonSquare(t *testing.T) {
+	cases := []struct {
+		h, w  int
+		wantH int
+		wantW int
+	}{
+		{8, 12, 2, 2},  // both axes reduce
+		{12, 8, 2, 2},  // transposed
+		{9, 5, 2, 2},   // both axes reduce, odd sizes
+		{2, 10, 2, 2},  // height already at grid, width reduces
+		{10, 2, 2, 2},  // width already at grid, height reduces
+		{1, 7, 1, 2},   // height below grid passes through
+		{3, 100, 2, 2}, // extreme aspect ratio
+		{2, 2, 2, 2},   // fully small: pass-through clone
+	}
+	for _, tc := range cases {
+		in := New(1, tc.h, tc.w)
+		for i := range in.Data() {
+			in.Data()[i] = float32(i)
+		}
+		out, err := GridMaxPool(in, 2)
+		if err != nil {
+			t.Fatalf("GridMaxPool(%dx%d): %v", tc.h, tc.w, err)
+		}
+		want := Shape{1, tc.wantH, tc.wantW}
+		if !out.Shape().Equal(want) {
+			t.Errorf("GridMaxPool(%dx%d) shape = %v, want %v", tc.h, tc.w, out.Shape(), want)
+		}
+		if got := GridPooledShape(in.Shape(), 2); !got.Equal(out.Shape()) {
+			t.Errorf("GridPooledShape(%dx%d) = %v, actual pooled shape %v", tc.h, tc.w, got, out.Shape())
+		}
+		// Max pooling with ascending fill: the global max (last element) must
+		// appear in the last output cell, and every output must be one of the
+		// input values.
+		d := out.Data()
+		if d[len(d)-1] != float32(tc.h*tc.w-1) {
+			t.Errorf("GridMaxPool(%dx%d): last cell = %v, want %v", tc.h, tc.w, d[len(d)-1], float32(tc.h*tc.w-1))
+		}
 	}
 }
 

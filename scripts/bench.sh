@@ -3,14 +3,30 @@
 # (ns/op, B/op, allocs/op per benchmark), for tracking performance across PRs.
 #
 # Usage:
-#   scripts/bench.sh [output.json]       # default output: BENCH_2.json
-#   BENCH_SHORT=1 scripts/bench.sh       # smoke mode: -short -benchtime 1x
+#   scripts/bench.sh output.json             # explicit output file (required)
+#   BENCH_SHORT=1 scripts/bench.sh out.json  # smoke mode: -short -benchtime 1x
+#   BENCH_FORCE=1 scripts/bench.sh BENCH_N.json  # allow overwriting a snapshot
+#
+# An in-tree BENCH_N.json snapshot is the committed perf record of PR N, so
+# the output name must be explicit and an existing snapshot is never silently
+# clobbered: overwriting one requires BENCH_FORCE=1.
 #
 # Covers the root figure/ablation benchmarks plus the hot internal packages.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_2.json}"
+if [[ $# -lt 1 || -z "${1:-}" ]]; then
+    latest=$(ls BENCH_*.json 2>/dev/null | sed 's/[^0-9]*//g' | sort -n | tail -1)
+    next="BENCH_$(( ${latest:-0} + 1 )).json"
+    echo "usage: scripts/bench.sh <output.json>" >&2
+    echo "refusing to guess an output name; the next snapshot would be $next" >&2
+    exit 2
+fi
+out="$1"
+if [[ "$(basename "$out")" =~ ^BENCH_[0-9]+\.json$ && -e "$out" && "${BENCH_FORCE:-0}" != "1" ]]; then
+    echo "refusing to overwrite existing snapshot $out (set BENCH_FORCE=1 to override)" >&2
+    exit 2
+fi
 pkgs=(. ./internal/dataflow ./internal/ml ./internal/cnn ./internal/tensor)
 
 args=(-run '^$' -bench . -benchmem)

@@ -31,7 +31,9 @@ go test -race -timeout 30m $(go list ./... | grep -v '/internal/chaos$')
 echo "== go test -race (fault-injection critical packages) =="
 # Armed-at-exit is enforced by each package's TestMain: a test that leaves a
 # failpoint site armed fails the package even when every test passed.
-go test -race -count=1 ./internal/faultinject/... ./internal/dataflow ./internal/featurestore ./internal/share
+# internal/tensor and internal/cnn carry the parallel GEMM kernels and slab
+# arena; their shared-model concurrency tests must run under -race every time.
+go test -race -count=1 ./internal/faultinject/... ./internal/dataflow ./internal/featurestore ./internal/share ./internal/tensor ./internal/cnn
 
 echo "== chaos: -race short smoke =="
 go test -race -short -count=1 ./internal/chaos
