@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -12,6 +13,8 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/admission"
+	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/memory"
@@ -270,6 +273,91 @@ func TestAdmissionStressWithCancellation(t *testing.T) {
 		t.Log("no client observed a cancellation this round (timing-dependent)")
 	}
 	waitDrained(t, a, baseGoroutines)
+}
+
+// TestRetryAfterVariesWithLoad is the regression test for the static
+// Retry-After herd bug: the server used to stamp every 429 with the full
+// -queue-timeout, so every client rejected in one overload wave retried at
+// the same instant and arrived as a synchronized herd. The hint must instead
+// track admission state — two 429s written under different congestion must
+// carry different values.
+func TestRetryAfterVariesWithLoad(t *testing.T) {
+	const budget = 1 << 20
+	fc := clock.NewFake()
+	a := newAPI(serverConfig{
+		sloP99:         defaultSLOP99,
+		memBudgetBytes: budget,
+		queueDepth:     4,
+		queueTimeout:   10 * time.Second,
+		clk:            fc,
+	})
+
+	// Fill the budget so every further request queues (wait 0 recorded).
+	g, err := a.admit.Admit(context.Background(), budget)
+	if err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+
+	// timeOut queues one request and expires it: the waiter sits its full
+	// queue timeout, records that wait, and returns ErrDeadline.
+	timeOut := func() error {
+		t.Helper()
+		errc := make(chan error, 1)
+		go func() {
+			_, err := a.admit.Admit(context.Background(), budget)
+			errc <- err
+		}()
+		fc.BlockUntil(1) // the waiter's deadline timer is armed
+		fc.Advance(10 * time.Second)
+		return <-errc
+	}
+
+	derr := timeOut()
+	if !isAdmissionDeadline(derr) {
+		t.Fatalf("queued request returned %v, want ErrDeadline", derr)
+	}
+	rec1 := httptest.NewRecorder()
+	a.writeAdmissionError(rec1, derr)
+	first := rec1.Header().Get("Retry-After")
+
+	// More deadline expiries shift the recent-wait median up, and a parked
+	// waiter raises queue occupancy: the next 429 must hint differently.
+	for i := 0; i < 2; i++ {
+		if err := timeOut(); !isAdmissionDeadline(err) {
+			t.Fatalf("expiry %d returned %v, want ErrDeadline", i, err)
+		}
+	}
+	parkCtx, cancelPark := context.WithCancel(context.Background())
+	parked := make(chan struct{})
+	go func() {
+		defer close(parked)
+		_, _ = a.admit.Admit(parkCtx, budget)
+	}()
+	fc.BlockUntil(1)
+
+	rec2 := httptest.NewRecorder()
+	a.writeAdmissionError(rec2, derr)
+	second := rec2.Header().Get("Retry-After")
+
+	if rec1.Code != http.StatusTooManyRequests || rec2.Code != http.StatusTooManyRequests {
+		t.Fatalf("codes = %d, %d, want 429 for both", rec1.Code, rec2.Code)
+	}
+	if first == "" || second == "" {
+		t.Fatalf("Retry-After = %q then %q, want both set", first, second)
+	}
+	if first == second {
+		t.Errorf("Retry-After = %q under light load and %q under heavy load: a constant hint re-synchronizes the retry herd", first, second)
+	}
+
+	cancelPark()
+	<-parked
+	g.Release()
+}
+
+// isAdmissionDeadline reports whether err is the admission queue-deadline
+// sentinel (the condition the server maps to 429).
+func isAdmissionDeadline(err error) bool {
+	return errors.Is(err, admission.ErrDeadline)
 }
 
 // TestRunIDRoundTrip runs twice and fetches each run's trace and time series

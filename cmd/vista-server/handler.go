@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"sort"
 	"strconv"
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/admission"
+	"repro/internal/clock"
 	"repro/internal/cnn"
 	"repro/internal/core"
 	"repro/internal/data"
@@ -116,8 +118,6 @@ type api struct {
 	// share coalesces concurrent identical /run requests into one shared
 	// partial-inference pass; nil runs every request solo (sharing disabled).
 	share *share.Coordinator
-	// queueTimeout sizes the Retry-After hint on 429 responses.
-	queueTimeout time.Duration
 	// runs retains recent runs' traces and time series for /trace and
 	// /timeseries lookups by run ID.
 	runs *runRing
@@ -178,6 +178,9 @@ type serverConfig struct {
 	// /run requests; shareWindow is the batching window (0 = the default).
 	share       bool
 	shareWindow time.Duration
+	// clk is the time source for admission deadlines and share windows
+	// (nil = the wall clock); tests inject a fake for deterministic timing.
+	clk clock.Clock
 }
 
 // newHandler builds the service mux around a shared feature store (nil
@@ -199,12 +202,11 @@ func newAPI(cfg serverConfig) *api {
 		cfg.runHistory = defaultRunHistory
 	}
 	a := &api{
-		store:        cfg.store,
-		metrics:      obs.NewRegistry(),
-		sloP99:       cfg.sloP99,
-		queueTimeout: cfg.queueTimeout,
-		runs:         newRunRing(cfg.runHistory),
-		runKeys:      make(map[string]runKey),
+		store:   cfg.store,
+		metrics: obs.NewRegistry(),
+		sloP99:  cfg.sloP99,
+		runs:    newRunRing(cfg.runHistory),
+		runKeys: make(map[string]runKey),
 	}
 	if cfg.memBudgetBytes > 0 {
 		ctrl, err := admission.New(admission.Config{
@@ -212,6 +214,7 @@ func newAPI(cfg serverConfig) *api {
 			QueueDepth:   cfg.queueDepth,
 			QueueTimeout: cfg.queueTimeout,
 			Metrics:      a.metrics,
+			Clock:        cfg.clk,
 		})
 		if err != nil {
 			// Unreachable with a positive budget and the flag-validated
@@ -225,7 +228,7 @@ func newAPI(cfg serverConfig) *api {
 		if win <= 0 {
 			win = defaultShareWindow
 		}
-		coord, err := share.New(share.Config{Window: win, Metrics: a.metrics})
+		coord, err := share.New(share.Config{Window: win, Metrics: a.metrics, Clock: cfg.clk})
 		if err != nil {
 			// Unreachable with the positive window enforced above, but fail
 			// closed rather than silently solo.
@@ -644,12 +647,18 @@ const statusClientClosedRequest = 499
 // writeAdmissionError maps admission failures onto HTTP: a queue deadline is
 // retryable (429 + Retry-After), while a full queue or an unpayable price is
 // plain overload (503). A cancelled wait gets the 499 treatment above.
+//
+// The Retry-After hint comes from the controller's live state (recent queue
+// waits scaled by occupancy), not a static constant: a fixed hint tells every
+// rejected client to come back at the same instant, so each rejection wave
+// re-arrives as a synchronized herd that rejects again. A load-dependent hint
+// spreads the waves out as congestion evolves.
 func (a *api) writeAdmissionError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, admission.ErrDeadline):
-		retry := int64(1)
-		if s := int64(a.queueTimeout / time.Second); s > retry {
-			retry = s
+		retry := int64(math.Ceil(a.admit.RetryHint().Seconds()))
+		if retry < 1 {
+			retry = 1
 		}
 		w.Header().Set("Retry-After", strconv.FormatInt(retry, 10))
 		writeError(w, http.StatusTooManyRequests, err)

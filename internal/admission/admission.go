@@ -16,9 +16,11 @@ package admission
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/obs"
 )
 
@@ -52,6 +54,10 @@ type Config struct {
 	// Metrics, when non-nil, receives the controller's observability
 	// series (vista_admission_*).
 	Metrics *obs.Registry
+	// Clock is the time source for queue deadlines and wait measurement
+	// (nil = the wall clock). Tests inject clock.NewFake() to step queue
+	// timeouts deterministically.
+	Clock clock.Clock
 }
 
 // Stats is a point-in-time snapshot of a Controller's accounting. The
@@ -77,10 +83,16 @@ type waiter struct {
 	ready chan *Grant
 }
 
+// retryHintWindow is how many recent queued-request waits RetryHint's p50
+// estimate sees: small enough to track load shifts within seconds, large
+// enough that one outlier does not swing the hint.
+const retryHintWindow = 64
+
 // Controller admits runs against a byte budget. A nil *Controller is valid
 // and admits everything immediately (admission disabled).
 type Controller struct {
 	cfg Config
+	clk clock.Clock
 
 	mu       sync.Mutex
 	inflight int64
@@ -92,6 +104,16 @@ type Controller struct {
 	rejQueueFull int64
 	rejOversize  int64
 	cancelled    int64
+
+	// recentWaits is a ring of the latest waits of requests that actually
+	// queued (admitted after waiting, deadline-expired, or cancelled while
+	// parked); RetryHint reads it. Fast-path outcomes — immediate admits,
+	// queue-full and oversize rejections — are excluded: they resolve in
+	// microseconds and say nothing about how long the queue takes to drain,
+	// and recording them would collapse the p50 to zero under load.
+	recentWaits [retryHintWindow]time.Duration
+	recentIdx   int
+	recentN     int
 
 	waitHist *obs.Histogram // nil when cfg.Metrics is nil
 }
@@ -108,7 +130,7 @@ func New(cfg Config) (*Controller, error) {
 	if cfg.QueueDepth < 0 {
 		return nil, fmt.Errorf("admission: queue depth must be >= 0, got %d", cfg.QueueDepth)
 	}
-	c := &Controller{cfg: cfg}
+	c := &Controller{cfg: cfg, clk: clock.Or(cfg.Clock)}
 	if reg := cfg.Metrics; reg != nil {
 		reg.GaugeFunc("vista_admission_budget_bytes",
 			"Configured admission budget in bytes.",
@@ -217,10 +239,15 @@ func (c *Controller) Admit(ctx ctxDoner, cost int64) (*Grant, error) {
 	if cost < 0 {
 		cost = 0
 	}
-	start := time.Now()
+	start := c.clk.Now()
+	queued := false
 	observe := func() {
+		wait := c.clk.Since(start)
+		if queued {
+			c.recordWait(wait)
+		}
 		if c.waitHist != nil {
-			c.waitHist.Observe(time.Since(start).Seconds())
+			c.waitHist.Observe(wait.Seconds())
 		}
 	}
 
@@ -249,13 +276,14 @@ func (c *Controller) Admit(ctx ctxDoner, cost int64) (*Grant, error) {
 	}
 	w := &waiter{cost: cost, ready: make(chan *Grant, 1)}
 	c.queue = append(c.queue, w)
+	queued = true
 	c.mu.Unlock()
 
 	var timeout <-chan time.Time
 	if c.cfg.QueueTimeout > 0 {
-		t := time.NewTimer(c.cfg.QueueTimeout)
+		t := c.clk.NewTimer(c.cfg.QueueTimeout)
 		defer t.Stop()
-		timeout = t.C
+		timeout = t.C()
 	}
 	var done <-chan struct{}
 	if ctx != nil {
@@ -287,6 +315,61 @@ func (c *Controller) Admit(ctx ctxDoner, cost int64) (*Grant, error) {
 		observe()
 		return nil, ctx.Err()
 	}
+}
+
+// recordWait appends one queued request's wait to the RetryHint ring.
+func (c *Controller) recordWait(d time.Duration) {
+	c.mu.Lock()
+	c.recentWaits[c.recentIdx] = d
+	c.recentIdx = (c.recentIdx + 1) % retryHintWindow
+	if c.recentN < retryHintWindow {
+		c.recentN++
+	}
+	c.mu.Unlock()
+}
+
+// RetryHint estimates how long a 429'd client should back off before
+// retrying, from current admission state: the p50 of recent queued-request
+// waits scaled by queue occupancy, floored at 1s and capped at twice the
+// queue timeout.
+//
+// The hint must vary with admission state. A static hint (the old behavior:
+// always the full queue timeout) synchronizes obedient clients — every 429'd
+// client that already waited the timeout retries in lockstep, so the server
+// sees load spikes at exact queue-timeout intervals instead of a smooth
+// retry trickle. Because this hint tracks the live wait distribution and the
+// queue's occupancy at rejection time, staggered rejections see different
+// states and spread their retries out. Safe on nil (1s).
+func (c *Controller) RetryHint() time.Duration {
+	if c == nil {
+		return time.Second
+	}
+	c.mu.Lock()
+	n := c.recentN
+	waits := make([]time.Duration, n)
+	copy(waits, c.recentWaits[:n])
+	occupancy := 0.0
+	if c.cfg.QueueDepth > 0 {
+		occupancy = float64(len(c.queue)) / float64(c.cfg.QueueDepth)
+	}
+	timeout := c.cfg.QueueTimeout
+	c.mu.Unlock()
+
+	hint := time.Second
+	if n > 0 {
+		sort.Slice(waits, func(i, j int) bool { return waits[i] < waits[j] })
+		p50 := waits[(n-1)/2]
+		// An empty queue halves the estimate (budget frees soon); a full
+		// queue means a retry waits behind everyone, so scale up to 1.5x.
+		hint = time.Duration(float64(p50) * (0.5 + occupancy))
+	}
+	if hint < time.Second {
+		hint = time.Second
+	}
+	if timeout > 0 && hint > 2*timeout {
+		hint = 2 * timeout
+	}
+	return hint
 }
 
 // abandon removes w from the queue, crediting *outcome on success. If w was

@@ -3,12 +3,29 @@ package admission
 import (
 	"context"
 	"errors"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/obs"
 )
+
+// waitStat spins (no sleeps — the fake clock never moves) until pred holds
+// or the test deadline kills it.
+func waitStat(t *testing.T, c *Controller, pred func(Stats) bool) {
+	t.Helper()
+	for i := 0; ; i++ {
+		if pred(c.Stats()) {
+			return
+		}
+		if i > 1e8 {
+			t.Fatalf("state never reached: %+v", c.Stats())
+		}
+		runtime.Gosched()
+	}
+}
 
 func newTestController(t *testing.T, cfg Config) *Controller {
 	t.Helper()
@@ -152,15 +169,29 @@ func TestQueueFull(t *testing.T) {
 	g.Release()
 }
 
+// TestQueueDeadline runs the queue-timeout path on the fake clock: the
+// deadline fires exactly at QueueTimeout — not a wall-clock millisecond
+// earlier or later — with no real sleeps in the test.
 func TestQueueDeadline(t *testing.T) {
-	c := newTestController(t, Config{BudgetBytes: 10, QueueDepth: 2, QueueTimeout: 20 * time.Millisecond})
+	fc := clock.NewFake()
+	c := newTestController(t, Config{BudgetBytes: 10, QueueDepth: 2, QueueTimeout: 20 * time.Second, Clock: fc})
 	g, _ := c.Admit(context.Background(), 10)
-	start := time.Now()
-	if _, err := c.Admit(context.Background(), 10); !errors.Is(err, ErrDeadline) {
-		t.Fatalf("Admit = %v, want ErrDeadline", err)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := c.Admit(context.Background(), 10)
+		errc <- err
+	}()
+	fc.BlockUntil(1) // the waiter's deadline timer is registered
+
+	fc.Advance(19 * time.Second)
+	select {
+	case err := <-errc:
+		t.Fatalf("deadline fired a simulated second early: %v", err)
+	default:
 	}
-	if time.Since(start) < 20*time.Millisecond {
-		t.Error("deadline fired early")
+	fc.Advance(time.Second)
+	if err := <-errc; !errors.Is(err, ErrDeadline) {
+		t.Fatalf("Admit = %v, want ErrDeadline", err)
 	}
 	if s := c.Stats(); s.RejectedDeadline != 1 || s.QueueDepth != 0 {
 		t.Errorf("stats = %+v, want one deadline rejection, empty queue", s)
@@ -169,6 +200,83 @@ func TestQueueDeadline(t *testing.T) {
 	// The abandoned waiter must not receive budget later.
 	if s := c.Stats(); s.InFlightBytes != 0 {
 		t.Errorf("in-flight = %d after release, want 0", s.InFlightBytes)
+	}
+}
+
+// TestRetryHintVariesWithAdmissionState is the herd-bug regression test at
+// the controller level: rejections observed against different admission
+// states (wait history, queue occupancy) must produce different hints — a
+// constant hint would re-synchronize every obedient client's retry.
+func TestRetryHintVariesWithAdmissionState(t *testing.T) {
+	fc := clock.NewFake()
+	c := newTestController(t, Config{BudgetBytes: 10, QueueDepth: 4, QueueTimeout: 10 * time.Second, Clock: fc})
+
+	if got := c.RetryHint(); got != time.Second {
+		t.Errorf("hint with no history = %v, want the 1s floor", got)
+	}
+
+	g, err := c.Admit(context.Background(), 10)
+	if err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+	// Fast-path admits must not dilute the estimate: the ring only tracks
+	// requests that queued, so the hint is still the floor.
+	if got := c.RetryHint(); got != time.Second {
+		t.Errorf("hint after a fast-path admit = %v, want the 1s floor", got)
+	}
+
+	// One full-timeout rejection: queued waits {10s}, empty queue at read
+	// time -> p50/2 = 5s.
+	errc := make(chan error, 1)
+	go func() {
+		_, err := c.Admit(context.Background(), 10)
+		errc <- err
+	}()
+	fc.BlockUntil(1)
+	fc.Advance(10 * time.Second)
+	if err := <-errc; !errors.Is(err, ErrDeadline) {
+		t.Fatalf("first waiter: %v, want ErrDeadline", err)
+	}
+	hint1 := c.RetryHint()
+	if hint1 != 5*time.Second {
+		t.Errorf("hint after one timeout = %v, want 5s (10s p50, empty queue)", hint1)
+	}
+
+	// Queue occupancy scales the hint up: one parked waiter in a depth-4
+	// queue adds 25% -> 10s * (0.5 + 0.25) = 7.5s.
+	done := make(chan struct{})
+	go func() {
+		g2, err := c.Admit(context.Background(), 10)
+		if err != nil {
+			t.Errorf("parked waiter: %v", err)
+		}
+		g2.Release()
+		close(done)
+	}()
+	waitStat(t, c, func(s Stats) bool { return s.QueueDepth == 1 })
+	hint2 := c.RetryHint()
+	if hint2 != 7500*time.Millisecond {
+		t.Errorf("hint with one queued waiter = %v, want 7.5s", hint2)
+	}
+	if hint1 == hint2 {
+		t.Fatalf("staggered rejections got the same hint %v — the herd bug", hint1)
+	}
+
+	// A queued-then-admitted wait lands in the ring too: the parked waiter
+	// is promoted after 6s, so queued waits become {10s, 6s} and the p50
+	// drops to 6s -> empty queue hint 3s.
+	fc.Advance(6 * time.Second)
+	g.Release() // promotes the parked waiter
+	<-done
+	if got := c.RetryHint(); got != 3*time.Second {
+		t.Errorf("hint after a 6s queued admit = %v, want 3s (p50 {6s,10s} -> 6s, empty queue)", got)
+	}
+}
+
+func TestRetryHintNilController(t *testing.T) {
+	var c *Controller
+	if got := c.RetryHint(); got != time.Second {
+		t.Errorf("nil controller hint = %v, want 1s", got)
 	}
 }
 

@@ -306,3 +306,41 @@ func TestHistogramQuantile(t *testing.T) {
 		t.Error("q>1 accepted")
 	}
 }
+
+// TestHistogramQuantileEdgeCases pins the interpolation paths that a
+// load-test report leans on: ranks inside the first bucket (interpolated
+// from zero, not the bucket bound), empty interior buckets, +Inf overflow
+// saturating at the last finite bound, and q=1.
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		bounds  []float64
+		samples []float64
+		q       float64
+		want    float64
+	}{
+		{"rank in the first bucket", []float64{1, 2, 4}, []float64{0.5, 0.5, 0.5, 0.5}, 0.5, 0.5},
+		{"first bucket interpolates from zero, not its bound", []float64{10, 20}, []float64{1, 1, 1, 1}, 0.25, 2.5},
+		{"empty interior buckets are skipped", []float64{1, 2, 4}, []float64{0.5, 3}, 1, 4},
+		{"rank below an empty interior bucket", []float64{1, 2, 4}, []float64{0.5, 3}, 0.5, 1},
+		{"overflow saturates at the last finite bound", []float64{1, 2, 4}, []float64{100}, 0.99, 4},
+		{"q=1 reports the occupied bucket's upper bound", []float64{1, 2, 4}, []float64{2.5, 3, 3.5}, 1, 4},
+		{"q=1 saturates when everything overflowed", []float64{1, 2}, []float64{5, 6, 7}, 1, 2},
+		{"boundary observation counts into its own bucket", []float64{1, 2, 4}, []float64{2, 2}, 1, 2},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			h := newHistogram(c.bounds)
+			for _, s := range c.samples {
+				h.Observe(s)
+			}
+			v, ok := h.Quantile(c.q)
+			if !ok {
+				t.Fatalf("Quantile(%v) not ok with %d observations", c.q, len(c.samples))
+			}
+			if math.Abs(v-c.want) > 1e-12 {
+				t.Errorf("Quantile(%v) = %v, want %v", c.q, v, c.want)
+			}
+		})
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/obs"
 )
 
@@ -61,6 +62,9 @@ type Config struct {
 	Capacity int
 	// Match selects series families by name (nil = DefaultMatch).
 	Match func(name string) bool
+	// Clock supplies time and the sampling ticker (nil = the real clock).
+	// Tests inject a fake to step the loop deterministically.
+	Clock clock.Clock
 }
 
 // Frame is one sampling instant: every selected series' value, keyed by the
@@ -151,6 +155,7 @@ func (r *Recording) ValueAt(key string, t time.Time) (float64, bool) {
 // Stop it after; Stop returns the Recording.
 type Sampler struct {
 	cfg   Config
+	clk   clock.Clock
 	ring  []atomic.Pointer[Frame]
 	head  atomic.Int64 // total frames ever written
 	stop  chan struct{}
@@ -173,11 +178,12 @@ func Start(cfg Config) *Sampler {
 	}
 	s := &Sampler{
 		cfg:  cfg,
+		clk:  clock.Or(cfg.Clock),
 		ring: make([]atomic.Pointer[Frame], cfg.Capacity),
 		stop: make(chan struct{}),
 		done: make(chan struct{}),
 	}
-	s.start = time.Now()
+	s.start = s.clk.Now()
 	s.sample(s.start)
 	go s.loop()
 	return s
@@ -185,11 +191,11 @@ func Start(cfg Config) *Sampler {
 
 func (s *Sampler) loop() {
 	defer close(s.done)
-	tick := time.NewTicker(s.cfg.Every)
+	tick := s.clk.NewTicker(s.cfg.Every)
 	defer tick.Stop()
 	for {
 		select {
-		case t := <-tick.C:
+		case t := <-tick.C():
 			s.sample(t)
 		case <-s.stop:
 			return
@@ -230,7 +236,7 @@ func openStage(root *obs.Span) string {
 func (s *Sampler) Stop() *Recording {
 	close(s.stop)
 	<-s.done
-	s.sample(time.Now())
+	s.sample(s.clk.Now())
 
 	h := s.head.Load()
 	n := h

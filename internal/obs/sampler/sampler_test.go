@@ -1,9 +1,11 @@
 package sampler
 
 import (
+	"runtime"
 	"testing"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/obs"
 )
 
@@ -151,21 +153,42 @@ func TestRecordingValueAtAndKeys(t *testing.T) {
 	}
 }
 
-// TestSamplerLiveLoop exercises the real ticker path end to end: the
-// background goroutine samples concurrently with registry writes.
+// TestSamplerLiveLoop exercises the ticker path end to end — the background
+// goroutine samples concurrently with registry writes — on a fake clock, so
+// the exact tick count (and therefore frame count) is deterministic instead
+// of a sleep-calibrated lower bound.
 func TestSamplerLiveLoop(t *testing.T) {
 	reg := obs.NewRegistry()
 	g := reg.Gauge("vista_pool_used_bytes", "pool", obs.Label{Key: "pool", Value: "storage"})
-	s := Start(Config{Registry: reg, Every: time.Millisecond})
-	for i := 0; i < 25; i++ {
-		g.Set(float64(i))
-		time.Sleep(2 * time.Millisecond)
+	fc := clock.NewFake()
+	s := Start(Config{Registry: reg, Every: 10 * time.Millisecond, Clock: fc})
+	fc.BlockUntil(1) // loop goroutine's ticker is registered
+
+	const ticks = 25
+	for i := 0; i < ticks; i++ {
+		g.Set(float64(i + 1))
+		fc.Advance(10 * time.Millisecond)
+		// The tick lands in the ticker's 1-buffered channel; wait for the
+		// loop goroutine to consume it (head advances) before the next tick,
+		// or back-to-back Advances would drop ticks like a real ticker.
+		for s.head.Load() < int64(i)+2 { // +1 initial frame, +1 per tick
+			runtime.Gosched()
+		}
 	}
 	rec := s.Stop()
-	if len(rec.Frames) < 5 {
-		t.Errorf("live loop recorded %d frames in 50ms at 1ms period, want >= 5", len(rec.Frames))
+	if want := ticks + 2; len(rec.Frames) != want {
+		t.Errorf("frames = %d, want exactly %d (initial + %d ticks + final)", len(rec.Frames), want, ticks)
 	}
-	if rec.Every != time.Millisecond || rec.End.Before(rec.Start) {
+	// Each ticker frame observed the gauge value set just before its tick.
+	for i, f := range rec.Frames[1 : len(rec.Frames)-1] {
+		if v, ok := f.Value(`vista_pool_used_bytes{pool="storage"}`); !ok || v != float64(i+1) {
+			t.Errorf("tick frame %d gauge = %v,%v, want %d", i, v, ok, i+1)
+		}
+	}
+	if rec.Every != 10*time.Millisecond || rec.End.Before(rec.Start) {
 		t.Errorf("recording metadata: every=%v start=%v end=%v", rec.Every, rec.Start, rec.End)
+	}
+	if rec.End.Sub(rec.Start) != ticks*10*time.Millisecond {
+		t.Errorf("recording spans %v of fake time, want %v", rec.End.Sub(rec.Start), ticks*10*time.Millisecond)
 	}
 }

@@ -31,6 +31,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/dataflow"
 	"repro/internal/featurestore"
 	"repro/internal/obs"
@@ -114,6 +115,9 @@ type Config struct {
 	// Metrics, when non-nil, receives the coordinator's observability series
 	// (vista_share_*).
 	Metrics *obs.Registry
+	// Clock is the time source for the batching window (nil = the wall
+	// clock). Tests inject clock.NewFake() to seal groups deterministically.
+	Clock clock.Clock
 }
 
 // Stats is a point-in-time snapshot of a Coordinator's accounting. At
@@ -144,6 +148,7 @@ type Stats struct {
 // shares nothing (every Join returns a Solo ticket with no group).
 type Coordinator struct {
 	cfg Config
+	clk clock.Clock
 
 	mu   sync.Mutex
 	open map[Identity]*group // groups still inside their window
@@ -168,7 +173,7 @@ func New(cfg Config) (*Coordinator, error) {
 	if cfg.MaxGroup < 0 {
 		return nil, fmt.Errorf("share: max group must be >= 0, got %d", cfg.MaxGroup)
 	}
-	c := &Coordinator{cfg: cfg, open: make(map[Identity]*group)}
+	c := &Coordinator{cfg: cfg, clk: clock.Or(cfg.Clock), open: make(map[Identity]*group)}
 	if reg := cfg.Metrics; reg != nil {
 		role := func(r string, f func(Stats) int64) {
 			reg.CounterFunc("vista_share_runs_total",
@@ -247,7 +252,7 @@ const (
 type group struct {
 	id      Identity
 	sealeds chan struct{} // closed at seal; Join waits on it
-	timer   *time.Timer   // window timer; nil once sealed
+	timer   clock.Timer   // window timer; stopped once sealed
 
 	// All fields below are guarded by the Coordinator's mutex.
 	members   []*Ticket
@@ -311,7 +316,7 @@ func (c *Coordinator) Join(ctx ctxDoner, id Identity, m Member) (*Ticket, error)
 	g, ok := c.open[id]
 	if !ok {
 		g = &group{id: id, sealeds: make(chan struct{})}
-		g.timer = time.AfterFunc(c.cfg.Window, func() { c.seal(g) })
+		g.timer = c.clk.AfterFunc(c.cfg.Window, func() { c.seal(g) })
 		c.open[id] = g
 	}
 	t := &Ticket{c: c, g: g, m: m, waitCh: make(chan awaitSignal, 1)}

@@ -6,11 +6,13 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/dataflow"
 	"repro/internal/faultinject"
 	"repro/internal/featurestore"
@@ -31,15 +33,55 @@ func TestMain(m *testing.M) {
 	os.Exit(code)
 }
 
-// newTestCoordinator builds a coordinator with a short window and a metrics
+// testWindow is the batching window every fake-clock test uses. Its length
+// is irrelevant: fake time only moves when a test advances it, so the window
+// fires exactly when the test says so — and never fires in tests that want
+// an open window.
+const testWindow = time.Minute
+
+// newTestCoordinator builds a coordinator on a fake clock with a metrics
 // registry, failing the test on config errors.
-func newTestCoordinator(t *testing.T, window time.Duration, maxGroup int) *Coordinator {
+func newTestCoordinator(t *testing.T, maxGroup int) (*Coordinator, *clock.Fake) {
 	t.Helper()
-	c, err := New(Config{Window: window, MaxGroup: maxGroup, Metrics: obs.NewRegistry()})
+	fc := clock.NewFake()
+	c, err := New(Config{Window: testWindow, MaxGroup: maxGroup, Metrics: obs.NewRegistry(), Clock: fc})
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
-	return c
+	return c, fc
+}
+
+// waitShareStat spins (never sleeps — fake time must not depend on it) until
+// pred holds; the enclosing test's own timeouts bound a stuck predicate.
+func waitShareStat(c *Coordinator, pred func(Stats) bool) {
+	for !pred(c.Stats()) {
+		runtime.Gosched()
+	}
+}
+
+// advanceWhenWaiting closes the window in the background once n members are
+// parked inside Join — the deterministic replacement for "use a window long
+// enough that everyone probably joins in time".
+func advanceWhenWaiting(c *Coordinator, fc *clock.Fake, n int) {
+	go func() {
+		waitShareStat(c, func(s Stats) bool { return s.WaitingMembers >= n })
+		fc.Advance(testWindow)
+	}()
+}
+
+// waitParked spins until every given follower is parked in AwaitLeader.
+func waitParked(c *Coordinator, tickets ...*Ticket) {
+	for _, tk := range tickets {
+		for {
+			c.mu.Lock()
+			parked := tk.awaiting
+			c.mu.Unlock()
+			if parked {
+				break
+			}
+			runtime.Gosched()
+		}
+	}
 }
 
 func ident(s string) Identity {
@@ -87,7 +129,8 @@ func TestNilCoordinatorSharesNothing(t *testing.T) {
 }
 
 func TestSoloSeal(t *testing.T) {
-	c := newTestCoordinator(t, 5*time.Millisecond, 0)
+	c, fc := newTestCoordinator(t, 0)
+	advanceWhenWaiting(c, fc, 1)
 	tk, err := c.Join(context.Background(), ident("solo"), Member{NumLayers: 2})
 	if err != nil {
 		t.Fatalf("Join: %v", err)
@@ -108,7 +151,7 @@ func TestSoloSeal(t *testing.T) {
 }
 
 func TestGroupElectsMaxLayersLeader(t *testing.T) {
-	c := newTestCoordinator(t, 50*time.Millisecond, 0)
+	c, fc := newTestCoordinator(t, 0)
 	layers := []int{1, 3, 2}
 	tickets := make([]*Ticket, len(layers))
 	var wg sync.WaitGroup
@@ -124,6 +167,9 @@ func TestGroupElectsMaxLayersLeader(t *testing.T) {
 			tickets[i] = tk
 		}(i, nl)
 	}
+	// The window closes only after all three members joined — group
+	// membership is deterministic, not a race against a real timer.
+	advanceWhenWaiting(c, fc, len(layers))
 	wg.Wait()
 	var leaders, followers int
 	for i, tk := range tickets {
@@ -171,7 +217,8 @@ func TestGroupElectsMaxLayersLeader(t *testing.T) {
 }
 
 func TestDifferentIdentitiesDoNotGroup(t *testing.T) {
-	c := newTestCoordinator(t, 10*time.Millisecond, 0)
+	c, fc := newTestCoordinator(t, 0)
+	advanceWhenWaiting(c, fc, 2)
 	var wg sync.WaitGroup
 	roles := make([]Role, 2)
 	for i := 0; i < 2; i++ {
@@ -196,8 +243,8 @@ func TestDifferentIdentitiesDoNotGroup(t *testing.T) {
 }
 
 func TestMaxGroupSealsEarly(t *testing.T) {
-	// A window far longer than the test: only the MaxGroup trigger can seal.
-	c := newTestCoordinator(t, time.Hour, 2)
+	// Fake time never advances: only the MaxGroup trigger can seal.
+	c, _ := newTestCoordinator(t, 2)
 	done := make(chan *Ticket, 2)
 	for i := 0; i < 2; i++ {
 		go func() {
@@ -235,7 +282,7 @@ func publishTestRows(h *Handoff, k featurestore.Key, n int) {
 }
 
 func TestHandoffDeliveryAndIsolation(t *testing.T) {
-	c := newTestCoordinator(t, 30*time.Millisecond, 0)
+	c, fc := newTestCoordinator(t, 0)
 	var wg sync.WaitGroup
 	tickets := make([]*Ticket, 2)
 	for i, nl := range []int{2, 1} {
@@ -250,6 +297,7 @@ func TestHandoffDeliveryAndIsolation(t *testing.T) {
 			tickets[i] = tk
 		}(i, nl)
 	}
+	advanceWhenWaiting(c, fc, 2)
 	wg.Wait()
 	leader, follower := tickets[0], tickets[1]
 	if leader.Role() != Leader {
@@ -299,8 +347,9 @@ func TestHandoffDeliveryAndIsolation(t *testing.T) {
 	drained(t, c)
 }
 
-// sealGroup joins n members concurrently and returns their tickets.
-func sealGroup(t *testing.T, c *Coordinator, id Identity, n int) []*Ticket {
+// sealGroup joins n members concurrently, closes the window once all are
+// parked, and returns their tickets.
+func sealGroup(t *testing.T, c *Coordinator, fc *clock.Fake, id Identity, n int) []*Ticket {
 	t.Helper()
 	tickets := make([]*Ticket, n)
 	var wg sync.WaitGroup
@@ -316,6 +365,7 @@ func sealGroup(t *testing.T, c *Coordinator, id Identity, n int) []*Ticket {
 			tickets[i] = tk
 		}(i)
 	}
+	advanceWhenWaiting(c, fc, n)
 	wg.Wait()
 	for _, tk := range tickets {
 		if tk == nil {
@@ -337,8 +387,8 @@ func split(tickets []*Ticket) (leader *Ticket, followers []*Ticket) {
 }
 
 func TestLeaderFailurePromotesParkedFollower(t *testing.T) {
-	c := newTestCoordinator(t, 30*time.Millisecond, 0)
-	tickets := sealGroup(t, c, ident("p"), 3)
+	c, fc := newTestCoordinator(t, 0)
+	tickets := sealGroup(t, c, fc, ident("p"), 3)
 	leader, followers := split(tickets)
 
 	// Park both followers before the leader fails.
@@ -354,9 +404,9 @@ func TestLeaderFailurePromotesParkedFollower(t *testing.T) {
 			results <- await{att, err, f}
 		}(f)
 	}
-	// Let the followers park (best effort; the state machine also handles
-	// late arrivals via pendingPromotion).
-	time.Sleep(10 * time.Millisecond)
+	// Both followers must be parked before the leader fails, so the test
+	// exercises the promote-a-parked-follower path deterministically.
+	waitParked(c, followers...)
 
 	leaderErr := errors.New("injected mid-pass failure")
 	leader.Start()
@@ -402,8 +452,8 @@ func TestLeaderFailurePromotesParkedFollower(t *testing.T) {
 }
 
 func TestLateFollowerSelfPromotes(t *testing.T) {
-	c := newTestCoordinator(t, 30*time.Millisecond, 0)
-	tickets := sealGroup(t, c, ident("late"), 2)
+	c, fc := newTestCoordinator(t, 0)
+	tickets := sealGroup(t, c, fc, ident("late"), 2)
 	leader, followers := split(tickets)
 
 	// The leader fails before the follower ever calls AwaitLeader: the group
@@ -429,8 +479,8 @@ func TestLateFollowerSelfPromotes(t *testing.T) {
 func TestPromotionChainUntilExhaustion(t *testing.T) {
 	// Promotion is sticky: as long as a live follower remains, a failed
 	// leader hands the pass on instead of failing the group.
-	c := newTestCoordinator(t, 30*time.Millisecond, 0)
-	tickets := sealGroup(t, c, ident("chain"), 3)
+	c, fc := newTestCoordinator(t, 0)
+	tickets := sealGroup(t, c, fc, ident("chain"), 3)
 	leader, followers := split(tickets)
 
 	leader.Start()
@@ -466,8 +516,8 @@ func TestDeadGroupFailsFollower(t *testing.T) {
 	// When the last candidate leader fails with every other member already
 	// gone, the group dies: a straggler's AwaitLeader gets the typed
 	// ErrGroupFailed wrapping the final leader error and counts aborted.
-	c := newTestCoordinator(t, 30*time.Millisecond, 0)
-	tickets := sealGroup(t, c, ident("dead"), 3)
+	c, fc := newTestCoordinator(t, 0)
+	tickets := sealGroup(t, c, fc, ident("dead"), 3)
 	leader, followers := split(tickets)
 
 	// One follower gives up before ever awaiting (client gone pre-await).
@@ -510,8 +560,8 @@ func TestDeadGroupFailsFollower(t *testing.T) {
 }
 
 func TestAwaitLeaderCancellation(t *testing.T) {
-	c := newTestCoordinator(t, 30*time.Millisecond, 0)
-	tickets := sealGroup(t, c, ident("cancel"), 2)
+	c, fc := newTestCoordinator(t, 0)
+	tickets := sealGroup(t, c, fc, ident("cancel"), 2)
 	leader, followers := split(tickets)
 
 	ctx, cancel := context.WithCancel(context.Background())
@@ -520,7 +570,7 @@ func TestAwaitLeaderCancellation(t *testing.T) {
 		_, err := followers[0].AwaitLeader(ctx)
 		errc <- err
 	}()
-	time.Sleep(5 * time.Millisecond)
+	waitParked(c, followers[0])
 	cancel()
 	if err := <-errc; !errors.Is(err, ErrWaitCancelled) || !errors.Is(err, context.Canceled) {
 		t.Fatalf("AwaitLeader error = %v, want ErrWaitCancelled wrapping context.Canceled", err)
@@ -538,14 +588,14 @@ func TestAwaitLeaderCancellation(t *testing.T) {
 }
 
 func TestJoinCancelledBeforeSeal(t *testing.T) {
-	c := newTestCoordinator(t, time.Hour, 0) // window never fires in-test
+	c, _ := newTestCoordinator(t, 0) // fake time never advances: window never fires
 	ctx, cancel := context.WithCancel(context.Background())
 	errc := make(chan error, 1)
 	go func() {
 		_, err := c.Join(ctx, ident("j"), Member{NumLayers: 2})
 		errc <- err
 	}()
-	time.Sleep(5 * time.Millisecond)
+	waitShareStat(c, func(s Stats) bool { return s.WaitingMembers == 1 })
 	cancel()
 	select {
 	case err := <-errc:
@@ -561,8 +611,8 @@ func TestJoinCancelledBeforeSeal(t *testing.T) {
 func TestCancelledAwaitRelaysPromotion(t *testing.T) {
 	// A promotion signal racing a follower's cancellation must be handed on
 	// to the next live follower, or the group hangs.
-	c := newTestCoordinator(t, 30*time.Millisecond, 0)
-	tickets := sealGroup(t, c, ident("relay"), 3)
+	c, fc := newTestCoordinator(t, 0)
+	tickets := sealGroup(t, c, fc, ident("relay"), 3)
 	leader, followers := split(tickets)
 
 	ctx, cancel := context.WithCancel(context.Background())
@@ -571,7 +621,7 @@ func TestCancelledAwaitRelaysPromotion(t *testing.T) {
 		_, err := followers[0].AwaitLeader(ctx)
 		parked <- err
 	}()
-	time.Sleep(5 * time.Millisecond)
+	waitParked(c, followers[0])
 
 	// Fail the leader (promotes the parked follower), then immediately
 	// cancel that follower; whether the signal or the cancel wins the race,
@@ -643,8 +693,11 @@ func TestMetricsRegistered(t *testing.T) {
 }
 
 func TestExactlyOneOutcomePerMember(t *testing.T) {
-	c := newTestCoordinator(t, 20*time.Millisecond, 0)
+	c, fc := newTestCoordinator(t, 0)
 	const groups, perGroup = 4, 3
+	// All four group windows are due at the same fake instant; one Advance
+	// seals all of them once every member is parked.
+	advanceWhenWaiting(c, fc, groups*perGroup)
 	var wg sync.WaitGroup
 	for g := 0; g < groups; g++ {
 		for m := 0; m < perGroup; m++ {

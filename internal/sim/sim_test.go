@@ -550,6 +550,30 @@ func TestDatasetSpecHelpers(t *testing.T) {
 	}
 }
 
+// TestScaleNeverTruncatesToZeroRows pins the rounding bug: a scale factor
+// below 1/Rows used to truncate the product to zero rows, and a zero-row
+// dataset walks through every per-row cost model (and the optimizer's
+// feasibility check) as a silent no-op.
+func TestScaleNeverTruncatesToZeroRows(t *testing.T) {
+	cases := []struct {
+		rows int
+		f    float64
+		want int
+	}{
+		{20000, 1.0 / 40000, 1}, // product 0.5: truncated to 0 before the fix
+		{20000, 0, 1},           // degenerate factor still yields a dataset
+		{20000, 1.0 / 20000, 1}, // exactly one row survives
+		{20000, 0.25, 5000},     // ordinary down-scaling is untouched
+		{20000, 8, 160000},      // paper's 8X
+	}
+	for _, c := range cases {
+		d := DatasetSpec{Name: "t", Rows: c.rows, StructDim: 1, ImageRowBytes: 1}
+		if got := d.Scale(c.f).Rows; got != c.want {
+			t.Errorf("Scale(%v) on %d rows = %d, want %d", c.f, c.rows, got, c.want)
+		}
+	}
+}
+
 func TestPreMaterializationCost(t *testing.T) {
 	w := mustWorkload(t, WorkloadSpec{ModelName: "resnet50", NumLayers: 5,
 		Dataset: FoodsSpec(), PlanKind: plan.Staged, Placement: plan.AfterJoin, PreMat: true})

@@ -32,9 +32,14 @@ func AmazonSpec() DatasetSpec {
 }
 
 // Scale replicates the dataset's rows by f (the paper's semi-synthetic
-// "1X/2X/4X/8X" scaling).
+// "1X/2X/4X/8X" scaling). The result is floored at one row: a sub-row
+// product would otherwise truncate to zero and every downstream per-row
+// cost (and the optimizer's feasibility check) silently degenerates.
 func (d DatasetSpec) Scale(f float64) DatasetSpec {
 	d.Rows = int(float64(d.Rows) * f)
+	if d.Rows < 1 {
+		d.Rows = 1
+	}
 	return d
 }
 

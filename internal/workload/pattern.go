@@ -1,0 +1,260 @@
+// Package workload generates profile-driven HTTP traffic against a live
+// vista-server and verifies the serving stack's load-shedding contract while
+// it runs.
+//
+// A Pattern maps a simulated clock offset to an offered request rate; the
+// small DSL in Parse composes the shapes operators reason about — a diurnal
+// sine, steps, bursts, floods — into one profile, e.g.
+//
+//	diurnal(2,12,24h) + burst(12h,30m,40)
+//
+// The Driver replays a profile against a server under time compression: with
+// TimeScale 720, 24 simulated hours sweep past in two minutes of wall clock,
+// while instantaneous request rates stay at their nominal per-second values.
+// That turns "does admission shed the lunch spike and recover by evening?"
+// from an overnight soak test into a CI-sized check: the driver records a
+// per-tick timeline (offered load, response classes, latency quantiles,
+// scraped queue depth) and Result.Verify turns the serving contract —
+// counters reconcile, the transport never fails, off-peak latency stays
+// within its bound, 429 Retry-After hints are not a herd-synchronizing
+// constant — into exit-code invariants.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Pattern is an offered-load profile: Rate reports the target request rate
+// (requests per wall-clock second) at simulated offset t from the start of
+// the profile. Implementations must be pure — the driver and the timeline
+// both evaluate them repeatedly.
+type Pattern interface {
+	Rate(t time.Duration) float64
+	String() string
+}
+
+// Parse builds a Pattern from the profile DSL: one or more terms joined by
+// "+", each term a call of one of the shapes below. Rates are floats
+// (requests/second), times and durations use Go duration syntax (30m, 24h).
+//
+//	const(r)          r at every instant
+//	diurnal(b,p,per)  sine between base b and peak p with period per
+//	                  (trough at t=0, peak at per/2)
+//	step(at,r)        0 before at, r from at onward
+//	burst(at,dur,r)   r inside [at, at+dur), 0 outside
+//	flood(at,dur,r)   burst synonym, named for overload phases
+//
+// The empty string is an error: a driver with no profile has no work.
+func Parse(spec string) (Pattern, error) {
+	var terms []Pattern
+	for _, raw := range strings.Split(spec, "+") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			return nil, fmt.Errorf("workload: empty term in profile %q", spec)
+		}
+		term, err := parseTerm(raw)
+		if err != nil {
+			return nil, fmt.Errorf("workload: profile term %q: %w", raw, err)
+		}
+		terms = append(terms, term)
+	}
+	if len(terms) == 1 {
+		return terms[0], nil
+	}
+	return sum(terms), nil
+}
+
+// parseTerm parses one name(arg,...) call.
+func parseTerm(s string) (Pattern, error) {
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return nil, fmt.Errorf("want name(args...)")
+	}
+	name := strings.TrimSpace(s[:open])
+	var args []string
+	if body := strings.TrimSpace(s[open+1 : len(s)-1]); body != "" {
+		args = strings.Split(body, ",")
+		for i := range args {
+			args[i] = strings.TrimSpace(args[i])
+		}
+	}
+	switch name {
+	case "const":
+		r, err := rateArgs(name, args, 1)
+		if err != nil {
+			return nil, err
+		}
+		return constant{r[0]}, nil
+	case "diurnal":
+		if err := arity(name, args, 3); err != nil {
+			return nil, err
+		}
+		base, err1 := rate(args[0])
+		peak, err2 := rate(args[1])
+		period, err3 := dur(args[2])
+		if err := firstErr(err1, err2, err3); err != nil {
+			return nil, err
+		}
+		if peak < base {
+			return nil, fmt.Errorf("peak %v below base %v", peak, base)
+		}
+		if period <= 0 {
+			return nil, fmt.Errorf("non-positive period %v", period)
+		}
+		return diurnal{base: base, peak: peak, period: period}, nil
+	case "step":
+		if err := arity(name, args, 2); err != nil {
+			return nil, err
+		}
+		at, err1 := dur(args[0])
+		r, err2 := rate(args[1])
+		if err := firstErr(err1, err2); err != nil {
+			return nil, err
+		}
+		return step{at: at, r: r}, nil
+	case "burst", "flood":
+		if err := arity(name, args, 3); err != nil {
+			return nil, err
+		}
+		at, err1 := dur(args[0])
+		d, err2 := dur(args[1])
+		r, err3 := rate(args[2])
+		if err := firstErr(err1, err2, err3); err != nil {
+			return nil, err
+		}
+		if d <= 0 {
+			return nil, fmt.Errorf("non-positive duration %v", d)
+		}
+		return burst{name: name, at: at, dur: d, r: r}, nil
+	default:
+		return nil, fmt.Errorf("unknown shape %q (want const, diurnal, step, burst, flood)", name)
+	}
+}
+
+func arity(name string, args []string, n int) error {
+	if len(args) != n {
+		return fmt.Errorf("%s takes %d args, got %d", name, n, len(args))
+	}
+	return nil
+}
+
+func rateArgs(name string, args []string, n int) ([]float64, error) {
+	if err := arity(name, args, n); err != nil {
+		return nil, err
+	}
+	out := make([]float64, n)
+	for i, a := range args {
+		r, err := rate(a)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+func rate(s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad rate %q", s)
+	}
+	if v < 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+		return 0, fmt.Errorf("rate %q out of range", s)
+	}
+	return v, nil
+}
+
+func dur(s string) (time.Duration, error) {
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad duration %q", s)
+	}
+	if d < 0 {
+		return 0, fmt.Errorf("negative duration %q", s)
+	}
+	return d, nil
+}
+
+func firstErr(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type constant struct{ r float64 }
+
+func (c constant) Rate(time.Duration) float64 { return c.r }
+func (c constant) String() string             { return fmt.Sprintf("const(%g)", c.r) }
+
+// diurnal is the day/night sine: trough (base) at t=0, peak at period/2,
+// repeating every period — the paper-era "analysts arrive at 9, leave at 6"
+// shape every serving system is provisioned around.
+type diurnal struct {
+	base, peak float64
+	period     time.Duration
+}
+
+func (d diurnal) Rate(t time.Duration) float64 {
+	phase := 2 * math.Pi * float64(t) / float64(d.period)
+	return d.base + (d.peak-d.base)*(1-math.Cos(phase))/2
+}
+
+func (d diurnal) String() string {
+	return fmt.Sprintf("diurnal(%g,%g,%s)", d.base, d.peak, d.period)
+}
+
+type step struct {
+	at time.Duration
+	r  float64
+}
+
+func (s step) Rate(t time.Duration) float64 {
+	if t < s.at {
+		return 0
+	}
+	return s.r
+}
+
+func (s step) String() string { return fmt.Sprintf("step(%s,%g)", s.at, s.r) }
+
+type burst struct {
+	name    string // "burst" or "flood"
+	at, dur time.Duration
+	r       float64
+}
+
+func (b burst) Rate(t time.Duration) float64 {
+	if t < b.at || t >= b.at+b.dur {
+		return 0
+	}
+	return b.r
+}
+
+func (b burst) String() string {
+	return fmt.Sprintf("%s(%s,%s,%g)", b.name, b.at, b.dur, b.r)
+}
+
+type sum []Pattern
+
+func (p sum) Rate(t time.Duration) float64 {
+	var total float64
+	for _, term := range p {
+		total += term.Rate(t)
+	}
+	return total
+}
+
+func (p sum) String() string {
+	parts := make([]string, len(p))
+	for i, term := range p {
+		parts[i] = term.String()
+	}
+	return strings.Join(parts, " + ")
+}

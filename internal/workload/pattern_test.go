@@ -1,0 +1,95 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func mustParse(t *testing.T, spec string) Pattern {
+	t.Helper()
+	p, err := Parse(spec)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", spec, err)
+	}
+	return p
+}
+
+func TestParseShapes(t *testing.T) {
+	near := func(got, want float64) bool { return math.Abs(got-want) < 1e-9 }
+	cases := []struct {
+		spec string
+		at   time.Duration
+		want float64
+	}{
+		{"const(5)", 0, 5},
+		{"const(5)", 100 * time.Hour, 5},
+		{"const(2.5)", time.Minute, 2.5},
+
+		// Diurnal: trough at 0, peak at half period, back to trough.
+		{"diurnal(2,12,24h)", 0, 2},
+		{"diurnal(2,12,24h)", 12 * time.Hour, 12},
+		{"diurnal(2,12,24h)", 24 * time.Hour, 2},
+		{"diurnal(2,12,24h)", 6 * time.Hour, 7}, // midpoint of the rise
+
+		{"step(4h,9)", 0, 0},
+		{"step(4h,9)", 4*time.Hour - time.Nanosecond, 0},
+		{"step(4h,9)", 4 * time.Hour, 9},
+
+		{"burst(12h,30m,40)", 12*time.Hour - time.Second, 0},
+		{"burst(12h,30m,40)", 12 * time.Hour, 40},
+		{"burst(12h,30m,40)", 12*time.Hour + 29*time.Minute, 40},
+		{"burst(12h,30m,40)", 12*time.Hour + 30*time.Minute, 0},
+		{"flood(1h,5m,200)", 1*time.Hour + time.Minute, 200},
+
+		// Composition sums terms.
+		{"const(2) + burst(1h,1h,10)", 30 * time.Minute, 2},
+		{"const(2) + burst(1h,1h,10)", 90 * time.Minute, 12},
+		{"diurnal(2,12,24h) + flood(12h,10m,50)", 12 * time.Hour, 62},
+	}
+	for _, c := range cases {
+		if got := mustParse(t, c.spec).Rate(c.at); !near(got, c.want) {
+			t.Errorf("%q at %s = %v, want %v", c.spec, c.at, got, c.want)
+		}
+	}
+}
+
+func TestParseRoundTripsString(t *testing.T) {
+	spec := "diurnal(2,12,24h0m0s) + burst(12h0m0s,30m0s,40)"
+	p := mustParse(t, spec)
+	again := mustParse(t, p.String())
+	for _, at := range []time.Duration{0, time.Hour, 12 * time.Hour, 23 * time.Hour} {
+		if a, b := p.Rate(at), again.Rate(at); a != b {
+			t.Errorf("re-parsed %q diverges at %s: %v vs %v", p.String(), at, a, b)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"",
+		"const()",
+		"const(1,2)",
+		"const(-3)",
+		"wave(1,2,3h)",
+		"diurnal(12,2,24h)", // peak below base
+		"diurnal(2,12,0s)",  // zero period
+		"burst(1h,0s,5)",    // zero duration
+		"burst(1h,5m)",      // missing rate
+		"const(1) + ",
+		"const(1",
+		"step(nope,5)",
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted", spec)
+		}
+	}
+}
+
+func TestParseErrorNamesTerm(t *testing.T) {
+	_, err := Parse("const(2) + wave(9)")
+	if err == nil || !strings.Contains(err.Error(), "wave(9)") {
+		t.Errorf("error %v does not point at the offending term", err)
+	}
+}

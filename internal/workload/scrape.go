@@ -1,0 +1,63 @@
+package workload
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// ScrapeMetrics fetches base+"/metrics" and parses the flat Prometheus text
+// exposition into series -> value, keyed "name" or `name{labels}` exactly as
+// exposed. The driver samples queue depth from it at bucket boundaries, and
+// vista-load diffs before/after scrapes to reconcile the server's admission
+// counters against the client-observed response classes.
+func ScrapeMetrics(ctx context.Context, client Doer, base string) (map[string]float64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("workload: scrape: %w", err)
+	}
+	defer drainBody(resp)
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("workload: scrape: /metrics returned %d", resp.StatusCode)
+	}
+	out := map[string]float64{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			continue
+		}
+		out[line[:sp]] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// drainBody consumes and closes a response body so the transport can reuse
+// the connection.
+func drainBody(resp *http.Response) {
+	if resp.Body == nil {
+		return
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+}

@@ -33,7 +33,10 @@ echo "== go test -race (fault-injection critical packages) =="
 # failpoint site armed fails the package even when every test passed.
 # internal/tensor and internal/cnn carry the parallel GEMM kernels and slab
 # arena; their shared-model concurrency tests must run under -race every time.
-go test -race -count=1 ./internal/faultinject/... ./internal/dataflow ./internal/featurestore ./internal/share ./internal/tensor ./internal/cnn
+# internal/workload is the load driver: its open/closed-loop scheduling and
+# result bookkeeping are all cross-goroutine, so it races under -race or not
+# at all.
+go test -race -count=1 ./internal/faultinject/... ./internal/dataflow ./internal/featurestore ./internal/share ./internal/tensor ./internal/cnn ./internal/workload
 
 echo "== chaos: -race short smoke =="
 go test -race -short -count=1 ./internal/chaos
@@ -57,6 +60,47 @@ smoke_tmp=$(mktemp -d)
 go build -o "$smoke_tmp/vista-server" ./cmd/vista-server
 go run ./scripts/serversmoke -server "$smoke_tmp/vista-server"
 rm -rf "$smoke_tmp"
+
+echo "== vista-load smoke (compressed overload replay) =="
+# Boot a single-slot server (the 60000 MiB budget fits exactly one priced
+# tiny-alexnet/foods run — modeled memory, nothing near that is allocated)
+# and replay a two-wave overload profile compressed 60x: ~30s of wall clock
+# covering a calm baseline, a moderate flood, and a saturating flood.
+# vista-load exits nonzero unless every offered request is classified
+# exactly once, the server's admission counters reconcile with the observed
+# responses, nothing failed at the transport layer, and the 429s carried
+# >= 2 distinct Retry-After values — the regression gate for the
+# static-hint retry herd.
+load_tmp=$(mktemp -d)
+load_port=$((20000 + RANDOM % 10000))
+go build -o "$load_tmp/vista-server" ./cmd/vista-server
+go build -o "$load_tmp/vista-load" ./cmd/vista-load
+"$load_tmp/vista-server" -addr "127.0.0.1:$load_port" -feature-cache-mb 0 \
+    -mem-budget 60000 -queue-depth 6 -queue-timeout 3s \
+    >"$load_tmp/server.log" 2>&1 &
+load_server_pid=$!
+trap 'kill "$load_server_pid" 2>/dev/null || true' EXIT
+for _ in $(seq 1 50); do
+    if (exec 3<>"/dev/tcp/127.0.0.1/$load_port") 2>/dev/null; then exec 3>&- 3<&-; break; fi
+    sleep 0.2
+done
+"$load_tmp/vista-load" -url "http://127.0.0.1:$load_port" \
+    -profile 'const(1) + flood(4m,3m,25) + flood(16m,8m,45)' \
+    -duration 30m -time-scale 60 -tick 2m \
+    -min-retry-distinct 2 -max-inflight 1024 \
+    -timeline "$load_tmp/timeline.csv" | tee "$load_tmp/summary.txt"
+# The herd gate only binds when the run actually throttled; make sure the
+# profile produced real signal on this machine rather than passing vacuously.
+load_ok=$(sed -n 's/.* ok=\([0-9]*\).*/\1/p' "$load_tmp/summary.txt")
+load_throttled=$(sed -n 's/.* throttled=\([0-9]*\).*/\1/p' "$load_tmp/summary.txt")
+if [[ -z "$load_ok" || "$load_ok" -eq 0 || -z "$load_throttled" || "$load_throttled" -lt 2 ]]; then
+    echo "vista-load smoke produced too little signal (ok=$load_ok throttled=$load_throttled)" >&2
+    exit 1
+fi
+kill "$load_server_pid"
+wait "$load_server_pid" 2>/dev/null || true
+trap - EXIT
+rm -rf "$load_tmp"
 
 echo "== bench smoke (BENCH_SHORT=1) =="
 bench_out=$(mktemp)

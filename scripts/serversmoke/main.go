@@ -19,6 +19,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -41,7 +42,70 @@ const (
 	rows     = 60
 	layers   = 2
 	parallel = 12
+
+	// runTimeout bounds one /run request end to end. The bare http.Post
+	// default client has no timeout at all, so a wedged server used to hang
+	// the smoke until CI killed the whole job with no diagnosis.
+	runTimeout = 2 * time.Minute
+	// ctlTimeout bounds control-plane requests (/healthz, /metrics).
+	ctlTimeout = 5 * time.Second
 )
+
+var (
+	runClient = &http.Client{Timeout: runTimeout}
+	ctlClient = &http.Client{Timeout: ctlTimeout}
+)
+
+// Pseudo-status keys for non-HTTP outcomes in a codes map. Timeouts and
+// transport failures are distinct verdicts: a timeout is a server that is
+// too slow (or deadlocked) but still holding the socket, a transport error
+// is one that stopped answering entirely.
+const (
+	codeTransport    = -1
+	codeNoRetryAfter = -2
+	codeTimeout      = -3
+)
+
+// flood posts n identical /run bodies concurrently and classifies every
+// outcome exactly once: an HTTP status, codeTimeout, codeTransport, or
+// codeNoRetryAfter (a 429 missing its backoff hint).
+func flood(base, body string, n int) map[int]int {
+	var mu sync.Mutex
+	codes := map[int]int{}
+	record := func(code int) { mu.Lock(); codes[code]++; mu.Unlock() }
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer wg.Done()
+			resp, err := runClient.Post(base+"/run", "application/json", strings.NewReader(body))
+			if err != nil {
+				if isTimeout(err) {
+					record(codeTimeout)
+				} else {
+					record(codeTransport)
+				}
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusTooManyRequests && resp.Header.Get("Retry-After") == "" {
+				record(codeNoRetryAfter)
+				return
+			}
+			record(resp.StatusCode)
+		}()
+	}
+	wg.Wait()
+	return codes
+}
+
+// isTimeout reports whether err is a client-side timeout rather than a
+// refused/reset connection.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
 
 func main() {
 	server := flag.String("server", "", "path to the vista-server binary")
@@ -123,41 +187,17 @@ func smoke(server string) error {
 		return err
 	}
 
-	var mu sync.Mutex
-	codes := map[int]int{}
-	var wg sync.WaitGroup
-	wg.Add(parallel)
 	body := fmt.Sprintf(`{"model":"tiny-alexnet","dataset":"foods","rows":%d,"layers":%d}`, rows, layers)
-	for i := 0; i < parallel; i++ {
-		go func() {
-			defer wg.Done()
-			resp, err := http.Post(base+"/run", "application/json", strings.NewReader(body))
-			if err != nil {
-				mu.Lock()
-				codes[-1]++
-				mu.Unlock()
-				return
-			}
-			io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
-			if resp.StatusCode == http.StatusTooManyRequests && resp.Header.Get("Retry-After") == "" {
-				mu.Lock()
-				codes[-2]++
-				mu.Unlock()
-				return
-			}
-			mu.Lock()
-			codes[resp.StatusCode]++
-			mu.Unlock()
-		}()
-	}
-	wg.Wait()
+	codes := flood(base, body, parallel)
 
-	if codes[-1] > 0 {
-		return fmt.Errorf("%d requests failed at the transport layer", codes[-1])
+	if codes[codeTimeout] > 0 {
+		return fmt.Errorf("%d requests timed out after %s", codes[codeTimeout], runTimeout)
 	}
-	if codes[-2] > 0 {
-		return fmt.Errorf("%d 429 responses lacked Retry-After", codes[-2])
+	if codes[codeTransport] > 0 {
+		return fmt.Errorf("%d requests failed at the transport layer", codes[codeTransport])
+	}
+	if codes[codeNoRetryAfter] > 0 {
+		return fmt.Errorf("%d 429 responses lacked Retry-After", codes[codeNoRetryAfter])
 	}
 	for code, n := range codes {
 		switch code {
@@ -239,32 +279,14 @@ func shareSmoke(server string) error {
 		return err
 	}
 
-	var mu sync.Mutex
-	codes := map[int]int{}
-	var wg sync.WaitGroup
-	wg.Add(parallel)
 	body := fmt.Sprintf(`{"model":"tiny-alexnet","dataset":"foods","rows":%d,"layers":%d}`, rows, layers)
-	for i := 0; i < parallel; i++ {
-		go func() {
-			defer wg.Done()
-			resp, err := http.Post(base+"/run", "application/json", strings.NewReader(body))
-			if err != nil {
-				mu.Lock()
-				codes[-1]++
-				mu.Unlock()
-				return
-			}
-			io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
-			mu.Lock()
-			codes[resp.StatusCode]++
-			mu.Unlock()
-		}()
-	}
-	wg.Wait()
+	codes := flood(base, body, parallel)
 
-	if codes[-1] > 0 {
-		return fmt.Errorf("share: %d requests failed at the transport layer", codes[-1])
+	if codes[codeTimeout] > 0 {
+		return fmt.Errorf("share: %d requests timed out after %s", codes[codeTimeout], runTimeout)
+	}
+	if codes[codeTransport] > 0 {
+		return fmt.Errorf("share: %d requests failed at the transport layer", codes[codeTransport])
 	}
 	if codes[http.StatusOK] != parallel {
 		return fmt.Errorf("share: %d/%d requests succeeded (codes: %v)", codes[http.StatusOK], parallel, codes)
@@ -335,7 +357,7 @@ func stopServer(cmd *exec.Cmd) error {
 func waitHealthy(base string) error {
 	deadline := time.Now().Add(15 * time.Second)
 	for time.Now().Before(deadline) {
-		resp, err := http.Get(base + "/healthz")
+		resp, err := ctlClient.Get(base + "/healthz")
 		if err == nil {
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
@@ -351,7 +373,7 @@ func waitHealthy(base string) error {
 // scrape fetches /metrics and parses the flat Prometheus text exposition
 // into series -> value ("name" or `name{labels}` keys).
 func scrape(base string) (map[string]float64, error) {
-	resp, err := http.Get(base + "/metrics")
+	resp, err := ctlClient.Get(base + "/metrics")
 	if err != nil {
 		return nil, fmt.Errorf("scrape: %w", err)
 	}
