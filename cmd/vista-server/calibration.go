@@ -1,0 +1,103 @@
+package main
+
+import (
+	"net/http"
+
+	"repro/internal/calib"
+	"repro/internal/core"
+	"repro/internal/memory"
+	"repro/internal/plan"
+)
+
+// handleCalibration serves the cost model's rolling drift report: JSON by
+// default (the golden-tested wire format vista -calib report reproduces
+// offline), an aligned text table with ?format=text.
+func (a *api) handleCalibration(w http.ResponseWriter, r *http.Request) {
+	rep := a.calib.Report()
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		calib.RenderReport(w, rep)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = calib.WriteReportJSON(w, rep)
+}
+
+// recordCalibration folds one completed /run into the calibration recorder:
+// rebuild the simulator workload from what actually ran (rows, structured
+// dims, measured image bytes — the same derivation cmd/vista's -trace
+// comparison uses), compare it against the measured trace and series, and
+// record the resulting samples. Calibration is observability, not the
+// serving path: any failure is logged and swallowed.
+func (a *api) recordCalibration(req *workloadRequest, spec *core.Spec, res *core.Result, runID string) {
+	if len(spec.StructRows) == 0 || res.Trace == nil {
+		return
+	}
+	var imgBytes, n int64
+	for i := range spec.ImageRows {
+		imgBytes += spec.ImageRows[i].MemBytes()
+		n++
+		if n == 100 {
+			break
+		}
+	}
+	if n > 0 {
+		imgBytes /= n
+	}
+	env := calib.RunEnv{
+		ModelName:     req.Model,
+		Dataset:       req.Dataset,
+		Rows:          len(spec.StructRows),
+		StructDim:     len(spec.StructRows[0].Structured),
+		ImageRowBytes: imgBytes,
+		PlanKind:      plan.Staged,
+		Placement:     plan.AfterJoin,
+		Nodes:         req.Nodes,
+		Cores:         req.Cores,
+		MemBytes:      memory.GB(req.MemGB),
+		InferEstScale: a.calibInferScale,
+	}
+	samples, err := calib.CompareRun(env, res.Trace, res.Series)
+	if err != nil {
+		a.logger.Debug("calibration comparison skipped", "run_id", runID, "err", err)
+		return
+	}
+	if err := a.calib.Record(workloadKey(req), samples); err != nil {
+		a.logger.Warn("calibration log append failed", "run_id", runID, "err", err)
+	}
+}
+
+// DriftStatus is one stage kind's drift SLO evaluation, the calibration
+// analogue of SLOStatus.
+type DriftStatus struct {
+	Stage string `json:"stage"`
+	// DriftRatio and Drift mirror the /calibration report's fields; OK is
+	// Drift <= Bound.
+	DriftRatio float64 `json:"drift_ratio"`
+	Drift      float64 `json:"drift"`
+	Bound      float64 `json:"bound"`
+	Samples    int64   `json:"samples"`
+	OK         bool    `json:"ok"`
+}
+
+// CheckDriftSLO evaluates every stage kind's EWMA drift against bound. A
+// kind with no samples passes vacuously (absent evidence is not drift),
+// matching CheckSLO's treatment of traffic-free endpoints.
+func CheckDriftSLO(rep calib.Report, bound float64) (checked []DriftStatus) {
+	for _, st := range rep.Stages {
+		if st.Samples == 0 {
+			continue
+		}
+		checked = append(checked, DriftStatus{
+			Stage:      st.Kind,
+			DriftRatio: st.DriftRatio,
+			Drift:      st.Drift,
+			Bound:      bound,
+			Samples:    st.Samples,
+			OK:         st.Drift <= bound,
+		})
+	}
+	return checked
+}

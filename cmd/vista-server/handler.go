@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"math"
 	"net/http"
 	"sort"
@@ -12,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/admission"
+	"repro/internal/calib"
 	"repro/internal/clock"
 	"repro/internal/cnn"
 	"repro/internal/core"
@@ -121,9 +124,22 @@ type api struct {
 	// runs retains recent runs' traces and time series for /trace and
 	// /timeseries lookups by run ID.
 	runs *runRing
+	// calib accumulates estimate-vs-measured drift across runs, behind
+	// GET /calibration; never nil (memory-only when no log is configured).
+	calib *calib.Recorder
+	// logger receives request-scoped server logs, tagged with run IDs so
+	// log lines join against /trace?run=ID; never nil.
+	logger *slog.Logger
 	// sloP99 is the per-endpoint p99 latency bound (seconds) that
 	// /healthz?slo=1 enforces.
 	sloP99 float64
+	// maxDrift, when positive, adds a calibration clause to /healthz?slo=1:
+	// any stage kind whose EWMA drift exceeds it degrades health to 503.
+	maxDrift float64
+	// calibInferScale deliberately mis-scales the simulator's inference
+	// estimates before calibration folding (0/1 = off) — the test hook that
+	// proves the -max-drift clause trips end-to-end.
+	calibInferScale float64
 	// paths are the instrumented endpoints, for the SLO sweep.
 	paths []string
 
@@ -181,6 +197,15 @@ type serverConfig struct {
 	// clk is the time source for admission deadlines and share windows
 	// (nil = the wall clock); tests inject a fake for deterministic timing.
 	clk clock.Clock
+	// calib is the calibration recorder (nil = a fresh memory-only one);
+	// main wires a log-backed recorder so drift history survives restarts.
+	calib *calib.Recorder
+	// maxDrift enables the /healthz?slo=1 calibration clause (0 = off).
+	maxDrift float64
+	// calibInferScale is the deliberate mis-calibration test hook (0/1 = off).
+	calibInferScale float64
+	// logger receives server logs (nil = discard; main wires stderr).
+	logger *slog.Logger
 }
 
 // newHandler builds the service mux around a shared feature store (nil
@@ -202,12 +227,24 @@ func newAPI(cfg serverConfig) *api {
 		cfg.runHistory = defaultRunHistory
 	}
 	a := &api{
-		store:   cfg.store,
-		metrics: obs.NewRegistry(),
-		sloP99:  cfg.sloP99,
-		runs:    newRunRing(cfg.runHistory),
-		runKeys: make(map[string]runKey),
+		store:           cfg.store,
+		metrics:         obs.NewRegistry(),
+		sloP99:          cfg.sloP99,
+		maxDrift:        cfg.maxDrift,
+		calibInferScale: cfg.calibInferScale,
+		runs:            newRunRing(cfg.runHistory),
+		runKeys:         make(map[string]runKey),
+		calib:           cfg.calib,
+		logger:          cfg.logger,
 	}
+	if a.calib == nil {
+		// Memory-only recorder: Open without a path cannot fail.
+		a.calib, _ = calib.Open(calib.Config{Clock: cfg.clk})
+	}
+	if a.logger == nil {
+		a.logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	a.calib.RegisterMetrics(a.metrics)
 	if cfg.memBudgetBytes > 0 {
 		ctrl, err := admission.New(admission.Config{
 			BudgetBytes:  cfg.memBudgetBytes,
@@ -253,6 +290,7 @@ func (a *api) handler() http.Handler {
 	mux.HandleFunc("GET /featurestore", a.handleFeatureStore)
 	mux.HandleFunc("GET /trace/{format}", a.handleTrace)
 	mux.HandleFunc("GET /timeseries", a.handleTimeseries)
+	mux.HandleFunc("GET /calibration", a.handleCalibration)
 	mux.HandleFunc("POST /explain", handleExplain)
 	mux.HandleFunc("POST /simulate", a.handleSimulate)
 	mux.HandleFunc("POST /run", a.handleRun)
@@ -260,6 +298,7 @@ func (a *api) handler() http.Handler {
 		"/healthz": true, "/metrics": true, "/roster": true,
 		"/featurestore": true, "/explain": true, "/simulate": true, "/run": true,
 		"/trace/chrome": true, "/trace/otlp": true, "/timeseries": true,
+		"/calibration": true,
 	}
 	for p := range known {
 		a.paths = append(a.paths, p)
@@ -593,13 +632,18 @@ func (a *api) handleRun(w http.ResponseWriter, r *http.Request) {
 		if r.Context().Err() != nil {
 			// The client is gone; nobody reads this response. Surface a 499
 			// in the status-code series rather than a fake success.
+			a.logger.Info("run abandoned by client", "run_id", runID)
 			w.WriteHeader(statusClientClosedRequest)
 			return
 		}
 		if oom, ok := memory.IsOOM(err); ok {
+			a.logger.Warn("run crashed", "run_id", runID, "model", req.Model,
+				"dataset", req.Dataset, "rows", req.Rows, "err", oom)
 			writeJSON(w, http.StatusOK, map[string]any{"crashed": true, "crash": oom.Error()})
 			return
 		}
+		a.logger.Warn("run failed", "run_id", runID, "model", req.Model,
+			"dataset", req.Dataset, "rows", req.Rows, "err", err)
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -622,6 +666,11 @@ func (a *api) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	a.mu.Unlock()
 	a.runs.complete(seq, res.Trace, res.Series)
+	a.recordCalibration(req, &spec, res, runID)
+	a.logger.Info("run complete", "run_id", runID, "model", req.Model,
+		"dataset", req.Dataset, "rows", req.Rows,
+		"elapsed_ms", res.Elapsed.Milliseconds(),
+		"cached_stages", res.Cache.StagesFromCache)
 	resp := map[string]any{
 		"crashed":    false,
 		"run_id":     runID,

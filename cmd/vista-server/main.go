@@ -15,6 +15,9 @@
 //	GET  /timeseries           a completed /run's sampled time series
 //	                           (?format=csv for CSV, JSON otherwise; ?run=ID
 //	                           as above)
+//	GET  /calibration          the cost model's rolling drift report,
+//	                           accumulated across every /run (?format=text for
+//	                           an aligned table; JSON otherwise)
 //	POST /explain              optimizer decision + size analysis (no execution)
 //	POST /simulate             predicted runtime on a calibrated cluster profile
 //	POST /run                  real tiny-scale execution with per-layer metrics
@@ -36,8 +39,17 @@
 // during -share-window: a single leader executes the partial-CNN pass to the
 // maximum requested layer and every follower attaches the leader's feature
 // tables — never opening a DL session and paying only a marginal admission
-// price — before finishing its own downstream training independently. See
-// docs/OPERATIONS.md for the full operator guide.
+// price — before finishing its own downstream training independently.
+//
+// Every completed /run also feeds the cost model's drift observatory
+// (internal/calib): its estimate-vs-measured stage pairs append to the
+// -calib-log file (replayed on restart, and offline by vista -calib report)
+// and fold into the rolling per-stage aggregates behind GET /calibration and
+// the vista_calib_* metrics. With -max-drift, /healthz?slo=1 degrades to 503
+// when any stage kind's EWMA drift exceeds the bound. -debug-addr serves
+// net/http/pprof on a separate opt-in listener, and -log-format selects
+// text or JSON structured logs (run-ID tagged, joinable against
+// /trace?run=ID). See docs/OPERATIONS.md for the full operator guide.
 //
 // Example:
 //
@@ -50,13 +62,15 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"repro/internal/calib"
 	"repro/internal/featurestore"
 	"repro/internal/tensor"
 )
@@ -89,6 +103,16 @@ func main() {
 		"process-wide CNN compute parallelism: worker cap shared by GEMM convolution tiles and batch-row inference (0 = GOMAXPROCS); see docs/OPERATIONS.md for tuning under admission control")
 	convDirect := flag.Bool("conv-direct", false,
 		"route convolutions through the direct-loop reference kernel instead of im2col+GEMM (parity escape hatch; slow)")
+	calibLog := flag.String("calib-log", "",
+		"append-only calibration log file: every /run's estimate-vs-measured samples persist here and replay on restart (empty = in-memory aggregates only)")
+	maxDrift := flag.Float64("max-drift", 0,
+		"cost-model drift bound enforced by /healthz?slo=1: 503 when any stage kind's EWMA drift (max(ratio,1/ratio)-1) exceeds it (0 disables)")
+	calibInferScale := flag.Float64("calib-infer-scale", 0,
+		"deliberately multiply the simulator's inference estimates before calibration folding (test hook for the -max-drift path; 0 or 1 = off)")
+	debugAddr := flag.String("debug-addr", "",
+		"optional separate listen address serving net/http/pprof profiles under /debug/pprof/ (empty = off)")
+	logFormat := flag.String("log-format", "text",
+		"server log format on stderr: text or json (log/slog)")
 	flag.Parse()
 	if *memBudget < 0 || *queueDepth < 0 || *queueTimeout < 0 || *runHistory < 0 {
 		fmt.Fprintln(os.Stderr, "vista-server: -mem-budget, -queue-depth, -queue-timeout, and -run-history must be >= 0")
@@ -102,9 +126,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, "vista-server: -conv-workers must be >= 0")
 		os.Exit(2)
 	}
+	if *maxDrift < 0 {
+		fmt.Fprintln(os.Stderr, "vista-server: -max-drift must be >= 0")
+		os.Exit(2)
+	}
+	var logger *slog.Logger
+	switch *logFormat {
+	case "text":
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	case "json":
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	default:
+		fmt.Fprintln(os.Stderr, "vista-server: -log-format must be text or json")
+		os.Exit(2)
+	}
 	tensor.SetConvWorkers(*convWorkers)
 	tensor.SetUseDirect(*convDirect)
-	log.Printf("conv kernels: %d workers, direct=%v", tensor.ConvWorkers(), tensor.UseDirect())
+	logger.Info("conv kernels configured",
+		"workers", tensor.ConvWorkers(), "direct", tensor.UseDirect())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -127,33 +166,70 @@ func main() {
 			os.Exit(1)
 		}
 		defer store.Close()
-		log.Printf("feature store at %s (budget %d MiB)", dir, *cacheMB)
+		logger.Info("feature store opened", "dir", dir, "budget_mib", *cacheMB)
+	}
+
+	calibRec, err := calib.Open(calib.Config{Path: *calibLog})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vista-server:", err)
+		os.Exit(1)
+	}
+	defer calibRec.Close()
+	if *calibLog != "" {
+		logger.Info("calibration log opened",
+			"path", *calibLog, "replayed_runs", calibRec.Report().Runs)
 	}
 
 	handler := newAPI(serverConfig{
-		store:          store,
-		sloP99:         *sloP99,
-		memBudgetBytes: *memBudget << 20,
-		queueDepth:     *queueDepth,
-		queueTimeout:   *queueTimeout,
-		runHistory:     *runHistory,
-		share:          *shareOn,
-		shareWindow:    *shareWindow,
+		store:           store,
+		sloP99:          *sloP99,
+		memBudgetBytes:  *memBudget << 20,
+		queueDepth:      *queueDepth,
+		queueTimeout:    *queueTimeout,
+		runHistory:      *runHistory,
+		share:           *shareOn,
+		shareWindow:     *shareWindow,
+		calib:           calibRec,
+		maxDrift:        *maxDrift,
+		calibInferScale: *calibInferScale,
+		logger:          logger,
 	}).handler()
 	if *memBudget > 0 {
-		log.Printf("admission control: budget %d MiB, queue depth %d, queue timeout %s",
-			*memBudget, *queueDepth, *queueTimeout)
+		logger.Info("admission control enabled", "budget_mib", *memBudget,
+			"queue_depth", *queueDepth, "queue_timeout", *queueTimeout)
 	}
 	if *shareOn {
-		log.Printf("shared inference: batching identical /run requests for %s", *shareWindow)
+		logger.Info("shared inference enabled", "window", *shareWindow)
+	}
+	if *maxDrift > 0 {
+		logger.Info("calibration drift SLO enabled", "max_drift", *maxDrift)
+	}
+	if *debugAddr != "" {
+		go serveDebug(*debugAddr, logger)
 	}
 	srv := &http.Server{Addr: *addr, Handler: handler}
-	log.Printf("vista-server listening on %s", *addr)
+	logger.Info("vista-server listening", "addr", *addr)
 	if err := serve(ctx, srv); err != nil {
 		fmt.Fprintln(os.Stderr, "vista-server:", err)
 		os.Exit(1)
 	}
-	log.Printf("vista-server shut down cleanly")
+	logger.Info("vista-server shut down cleanly")
+}
+
+// serveDebug runs the opt-in pprof listener. It is a separate mux on a
+// separate address, never the serving mux: profiles stay reachable while the
+// main listener is saturated, and are never exposed on the public address.
+func serveDebug(addr string, logger *slog.Logger) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	logger.Info("debug listener serving pprof", "addr", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		logger.Warn("debug listener failed", "addr", addr, "err", err)
+	}
 }
 
 // serve runs srv until ctx is cancelled (e.g. by SIGINT/SIGTERM), then

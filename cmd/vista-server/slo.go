@@ -57,9 +57,10 @@ func CheckQueueWaitSLO(reg *obs.Registry, p99Bound float64) (st SLOStatus, found
 
 // handleHealthz is the liveness probe. Plain GET /healthz always reports ok;
 // GET /healthz?slo=1 additionally sweeps every instrumented endpoint's p99
-// latency — plus the admission queue wait, when admission control is on —
-// against the configured bound and degrades to 503 when anything violates
-// it — a scrape-free hook for external health checkers.
+// latency — plus the admission queue wait, when admission control is on, and
+// the cost model's calibration drift, when -max-drift is set — against the
+// configured bounds and degrades to 503 when anything violates them — a
+// scrape-free hook for external health checkers.
 func (a *api) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Query().Get("slo") == "" {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -84,13 +85,24 @@ func (a *api) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+	var driftChecked, driftViolations []DriftStatus
+	if a.maxDrift > 0 {
+		driftChecked = CheckDriftSLO(a.calib.Report(), a.maxDrift)
+		for _, d := range driftChecked {
+			if !d.OK {
+				driftViolations = append(driftViolations, d)
+			}
+		}
+	}
 	status, verdict := http.StatusOK, "ok"
-	if len(violations) > 0 {
+	if len(violations) > 0 || len(driftViolations) > 0 {
 		status, verdict = http.StatusServiceUnavailable, "slo-violated"
 	}
 	writeJSON(w, status, map[string]any{
-		"status":     verdict,
-		"slo":        checked,
-		"violations": violations,
+		"status":                 verdict,
+		"slo":                    checked,
+		"violations":             violations,
+		"calibration":            driftChecked,
+		"calibration_violations": driftViolations,
 	})
 }

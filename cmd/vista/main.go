@@ -4,6 +4,11 @@
 // chosen plan, trains the downstream model on every selected layer, and
 // reports per-layer accuracy plus the run's instrumentation.
 //
+// With -calib <log-file> each run also appends its estimate-vs-measured
+// calibration samples to an on-disk log, and `vista -calib <log-file> report`
+// replays such a log (from this CLI or a vista-server's -calib-log) into the
+// rolling drift report offline — identical to the server's GET /calibration.
+//
 // Example:
 //
 //	vista -dataset foods -rows 2000 -model tiny-resnet50 -layers 3
@@ -57,8 +62,22 @@ func main() {
 		traceFmt   = flag.String("trace-format", "chrome", "trace file format: chrome (trace-event JSON) or otlp (OTLP-style JSON spans)")
 		seriesOut  = flag.String("timeseries-out", "", "write the run's sampled time series to this file (.csv = CSV, otherwise JSON)")
 		sampleEvr  = flag.Duration("sample-every", 10*time.Millisecond, "time-series sample period (with -timeseries-out / -trace-out / -trace)")
+		calibLog   = flag.String("calib", "", "calibration log file: append this run's estimate-vs-measured samples to it, or replay it with the 'report' subcommand (vista -calib <log> report)")
+		calibJSON  = flag.Bool("calib-json", false, "with 'report': emit the calibration report as JSON, byte-identical to a server's GET /calibration over the same log")
 	)
 	flag.Parse()
+
+	if flag.Arg(0) == "report" {
+		if *calibLog == "" {
+			fmt.Fprintln(os.Stderr, "vista: report requires -calib <log-file>")
+			os.Exit(2)
+		}
+		if err := calibReport(*calibLog, *calibJSON, os.Stdout, os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "vista:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	opts := runOptions{
 		dataset: *dataset, rows: *rows, model: *model, layers: *layers,
@@ -68,6 +87,7 @@ func main() {
 		cacheDir: *cacheDir, cacheMB: *cacheMB, trace: *trace,
 		traceOut: *traceOut, traceFormat: *traceFmt,
 		timeseriesOut: *seriesOut, sampleEvery: *sampleEvr,
+		calibLog: *calibLog,
 	}
 	// Ctrl-C / SIGTERM cancels the run context: the executor aborts at the
 	// next stage boundary (or inside the running stage, via TaskContext),
@@ -107,11 +127,14 @@ type runOptions struct {
 	traceFormat   string
 	timeseriesOut string
 	sampleEvery   time.Duration
+	calibLog      string
 }
 
 // observing reports whether the run needs the metrics registry and sampler.
+// Calibration needs the sampled series for its storage samples, so -calib
+// turns observation on too.
 func (o *runOptions) observing() bool {
-	return o.trace || o.traceOut != "" || o.timeseriesOut != ""
+	return o.trace || o.traceOut != "" || o.timeseriesOut != "" || o.calibLog != ""
 }
 
 // run executes the workload under ctx (cancellation aborts it cleanly).
@@ -239,6 +262,14 @@ func run(ctx context.Context, o runOptions, stdout, stderr io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(stderr, "wrote sampled time series to %s\n", o.timeseriesOut)
+	}
+	if o.calibLog != "" {
+		if err := appendCalibration(o, runSpec, res); err != nil {
+			// Calibration is observability: report it, don't fail the run.
+			fmt.Fprintf(stderr, "calibration skipped: %v\n", err)
+		} else {
+			fmt.Fprintf(stderr, "appended calibration record to %s\n", o.calibLog)
+		}
 	}
 
 	if o.saveModels != "" {

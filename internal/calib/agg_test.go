@@ -1,0 +1,283 @@
+package calib
+
+import (
+	"math"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/sim"
+)
+
+func TestKindOf(t *testing.T) {
+	cases := []struct {
+		stage string
+		kind  Kind
+		ok    bool
+	}{
+		{"ingest", KindIngest, true},
+		{"join", KindJoin, true},
+		{"infer:fc6", KindInfer, true},
+		{"premat:conv5", KindInfer, true},
+		{"cache:fc7", KindInfer, true},
+		{"shared:fc7", KindInfer, true},
+		{"train:fc6", KindTrain, true},
+		{"storage:peak", KindStorage, true},
+		{"frobnicate:x", "", false},
+		{"", "", false},
+	}
+	for _, c := range cases {
+		k, ok := KindOf(c.stage)
+		if k != c.kind || ok != c.ok {
+			t.Errorf("KindOf(%q) = (%q, %v), want (%q, %v)", c.stage, k, ok, c.kind, c.ok)
+		}
+	}
+}
+
+func TestSamplesFromRunShareNormalization(t *testing.T) {
+	comps := []sim.StageComparison{
+		{Stage: "ingest", Estimated: 40 * time.Second, Measured: 2 * time.Second},
+		{Stage: "join", Estimated: 20 * time.Second, Measured: time.Second},
+		{Stage: "cache:fc6", Measured: 500 * time.Millisecond, Cached: true},
+		{Stage: "frobnicate:x", Measured: 100 * time.Millisecond, Unmodeled: true},
+	}
+	series := &sim.SeriesReport{PredPeakStorageBytes: 1 << 20, MeasPeakStorageBytes: 2 << 20}
+	got := SamplesFromRun(comps, series)
+	if len(got) != 5 {
+		t.Fatalf("got %d samples, want 5 (4 stages + storage:peak)", len(got))
+	}
+
+	// Included time rows are shares over the included rows only (est total
+	// 60s, meas total 3s): the absolute ~20x scale gap between simulator and
+	// tiny-scale engine must cancel, leaving ratio 1 for a proportional run.
+	approx := func(got, want float64) bool { return math.Abs(got-want) < 1e-12 }
+	if s := got[0]; !approx(s.Est, 40.0/60) || !approx(s.Meas, 2.0/3) {
+		t.Errorf("ingest shares = (%g, %g), want (2/3, 2/3)", s.Est, s.Meas)
+	}
+	if s := got[1]; !approx(s.Est, 20.0/60) || !approx(s.Meas, 1.0/3) {
+		t.Errorf("join shares = (%g, %g), want (1/3, 1/3)", s.Est, s.Meas)
+	}
+	// Excluded rows keep raw seconds and their flags.
+	if s := got[2]; !s.Cached || s.counts() || !approx(s.Meas, 0.5) {
+		t.Errorf("cached sample = %+v, want raw 0.5s and excluded", s)
+	}
+	if s := got[3]; !s.Unmodeled || s.counts() {
+		t.Errorf("unmodeled sample = %+v, want excluded", s)
+	}
+	// Storage stays in absolute bytes.
+	if s := got[4]; s.Kind != KindStorage || s.Est != 1<<20 || s.Meas != 2<<20 {
+		t.Errorf("storage sample = %+v, want absolute bytes", s)
+	}
+}
+
+func TestAggregatorExclusions(t *testing.T) {
+	a := NewAggregator(0)
+	a.Add(Record{At: time.Unix(1000, 0), Samples: []Sample{
+		{Stage: "infer:fc6", Kind: KindInfer, Est: 0.5, Meas: 0.5},
+		{Stage: "cache:fc7", Kind: KindInfer, Meas: 0.1, Cached: true},
+		{Stage: "shared:fc8", Kind: KindInfer, Meas: 0.1, Shared: true},
+		{Stage: "infer:fc9", Kind: KindInfer, Est: 0, Meas: 0.1}, // no estimate
+		{Stage: "frobnicate:x", Kind: "", Meas: 0.1, Unmodeled: true},
+	}})
+	rep := a.Report()
+	var infer StageAggregate
+	for _, st := range rep.Stages {
+		if st.Kind == string(KindInfer) {
+			infer = st
+		}
+	}
+	if infer.Samples != 1 || infer.Excluded != 3 {
+		t.Fatalf("infer samples/excluded = %d/%d, want 1/3 (unknown-kind row not counted anywhere)",
+			infer.Samples, infer.Excluded)
+	}
+	if rep.Runs != 1 || rep.Samples != 1 {
+		t.Fatalf("report runs/samples = %d/%d, want 1/1", rep.Runs, rep.Samples)
+	}
+}
+
+func TestAggregatorEWMADecay(t *testing.T) {
+	t0 := time.Unix(10000, 0)
+	a := NewAggregator(time.Hour)
+	one := func(at time.Time, meas float64) {
+		a.Add(Record{At: at, Samples: []Sample{
+			{Stage: "infer:fc6", Kind: KindInfer, Est: 1, Meas: meas},
+		}})
+	}
+
+	one(t0, 4)
+	if got := a.driftOf(KindInfer); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("after one ratio-4 sample, drift ratio = %g, want 4", got)
+	}
+
+	// One half-life later a ratio-1 sample arrives: the old sample's weight
+	// decays to 0.5, so the mean log-ratio is (0.5·ln4 + 1·0)/1.5 = ln4/3
+	// and the drift ratio is 4^(1/3).
+	one(t0.Add(time.Hour), 1)
+	want := math.Pow(4, 1.0/3)
+	if got := a.driftOf(KindInfer); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("after decayed second sample, drift ratio = %g, want 4^(1/3) = %g", got, want)
+	}
+	rep := a.Report()
+	if got := rep.Stages[2].DriftRatio; got != round6(want) {
+		t.Fatalf("reported infer drift ratio = %v, want %v", got, round6(want))
+	}
+	// Drift is the symmetric magnitude: max(r, 1/r) − 1.
+	if got := rep.Stages[2].Drift; got != round6(want-1) {
+		t.Fatalf("reported infer drift = %v, want %v", got, round6(want-1))
+	}
+}
+
+func TestAggregatorSameTimestampSamplesWeighEqually(t *testing.T) {
+	a := NewAggregator(time.Hour)
+	a.Add(Record{At: time.Unix(10000, 0), Samples: []Sample{
+		{Stage: "infer:fc6", Kind: KindInfer, Est: 1, Meas: 4},
+		{Stage: "infer:fc7", Kind: KindInfer, Est: 1, Meas: 1},
+	}})
+	// Equal weights: mean = (ln4 + ln1)/2 = ln2 → ratio 2. The classic
+	// w·prev + (1−w)·x recurrence would instead discount the first sample.
+	if got := a.driftOf(KindInfer); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("same-timestamp drift ratio = %g, want 2", got)
+	}
+}
+
+func TestAggregatorUndershootSymmetric(t *testing.T) {
+	a := NewAggregator(0)
+	a.Add(Record{At: time.Unix(1000, 0), Samples: []Sample{
+		{Stage: "train:fc6", Kind: KindTrain, Est: 1, Meas: 0.25},
+	}})
+	rep := a.Report()
+	var train StageAggregate
+	for _, st := range rep.Stages {
+		if st.Kind == string(KindTrain) {
+			train = st
+		}
+	}
+	// Measured 4x UNDER estimate: ratio 0.25, but drift magnitude is the
+	// same 3.0 an overshoot of 4x would produce.
+	if train.DriftRatio != 0.25 || train.Drift != 3 {
+		t.Fatalf("undershoot ratio/drift = %v/%v, want 0.25/3", train.DriftRatio, train.Drift)
+	}
+}
+
+func TestAggregatorLeastSquaresScale(t *testing.T) {
+	a := NewAggregator(0)
+	a.Add(Record{At: time.Unix(1000, 0), Samples: []Sample{
+		{Stage: "storage:peak", Kind: KindStorage, Est: 1 << 20, Meas: 2 << 20},
+		{Stage: "storage:spill", Kind: KindStorage, Est: 2 << 20, Meas: 4 << 20},
+	}})
+	rep := a.Report()
+	var storage StageAggregate
+	for _, st := range rep.Stages {
+		if st.Kind == string(KindStorage) {
+			storage = st
+		}
+	}
+	// Both samples say measurements run 2x the estimate; the least-squares
+	// scale s = Σ(est·meas)/Σ(est²) recovers exactly 2.
+	if storage.SuggestedScale != 2 {
+		t.Fatalf("suggested scale = %v, want 2", storage.SuggestedScale)
+	}
+}
+
+func TestReportEmptyIdentity(t *testing.T) {
+	rep := NewAggregator(0).Report()
+	if len(rep.Stages) != len(Kinds) {
+		t.Fatalf("empty report has %d stages, want %d", len(rep.Stages), len(Kinds))
+	}
+	for i, st := range rep.Stages {
+		if st.Kind != string(Kinds[i]) {
+			t.Errorf("stage %d = %q, want %q (stable report order)", i, st.Kind, Kinds[i])
+		}
+		if st.DriftRatio != 1 || st.Drift != 0 || st.SuggestedScale != 1 {
+			t.Errorf("empty %s reports drift %v/%v scale %v, want identity",
+				st.Kind, st.DriftRatio, st.Drift, st.SuggestedScale)
+		}
+		if len(st.RelErrHist) != len(relErrBounds)+1 {
+			t.Errorf("%s histogram has %d buckets, want %d", st.Kind,
+				len(st.RelErrHist), len(relErrBounds)+1)
+		}
+	}
+	if rep.HalfLifeSeconds != DefaultHalfLife.Seconds() {
+		t.Errorf("half-life = %v, want default %v", rep.HalfLifeSeconds, DefaultHalfLife.Seconds())
+	}
+}
+
+func TestRecorderFakeClockReplayMatchesLive(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "calib.log")
+	fc := clock.NewFake()
+	rec, err := Open(Config{Path: path, Clock: fc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := func(meas float64) []Sample {
+		return []Sample{
+			{Stage: "infer:fc6", Kind: KindInfer, Est: 0.5, Meas: meas},
+			{Stage: "ingest", Kind: KindIngest, Est: 0.5, Meas: 1 - meas},
+		}
+	}
+	if err := rec.Record("m|d|100|1", samples(0.6)); err != nil {
+		t.Fatal(err)
+	}
+	fc.Advance(10 * time.Minute)
+	if err := rec.Record("m|d|100|2", samples(0.7)); err != nil {
+		t.Fatal(err)
+	}
+	fc.Advance(DefaultHalfLife)
+	if err := rec.Record("m|d|100|3", samples(0.4)); err != nil {
+		t.Fatal(err)
+	}
+	live := rec.Report()
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if live.Runs != 3 || live.Samples != 6 {
+		t.Fatalf("live report runs/samples = %d/%d, want 3/6", live.Runs, live.Samples)
+	}
+
+	// Offline replay decays on the persisted record timestamps, so it must
+	// reproduce the live aggregates exactly — the property that makes
+	// `vista -calib report` trustworthy against a server's /calibration.
+	replayed, dropped, err := ReplayReport(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 0 {
+		t.Fatalf("replay dropped %d bytes from a clean log", dropped)
+	}
+	if !reflect.DeepEqual(live, replayed) {
+		t.Fatalf("replayed report differs from live:\nlive:     %+v\nreplayed: %+v", live, replayed)
+	}
+
+	// A restarted recorder resumes from the same log to the same state.
+	rec2, err := Open(Config{Path: path, Clock: fc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec2.Close()
+	if resumed := rec2.Report(); !reflect.DeepEqual(live, resumed) {
+		t.Fatalf("resumed report differs from live:\nlive:    %+v\nresumed: %+v", live, resumed)
+	}
+}
+
+func TestRenderReportTable(t *testing.T) {
+	a := NewAggregator(0)
+	a.Add(Record{At: time.Unix(1000, 0), Samples: []Sample{
+		{Stage: "infer:fc6", Kind: KindInfer, Est: 0.5, Meas: 0.55},
+	}})
+	var b strings.Builder
+	RenderReport(&b, a.Report())
+	out := b.String()
+	for _, want := range []string{"calibration: 1 runs, 1 samples", "stage", "drift-ratio"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered report missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if want := 2 + len(Kinds); len(lines) != want {
+		t.Fatalf("rendered report has %d lines, want %d (header + columns + one per kind)",
+			len(lines), want)
+	}
+}

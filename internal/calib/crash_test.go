@@ -1,0 +1,144 @@
+package calib
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/faultinject/crashtest"
+)
+
+// crashLogName is the log file crash scenarios share between the parent test
+// and the re-exec'd helper.
+const crashLogName = "calib.log"
+
+// TestCrashHelper is the re-exec target: it arms a Kill failpoint and drives
+// the log until faultinject terminates the process mid-operation. Parents
+// assert on the directory it leaves behind. In a normal test run it skips.
+func TestCrashHelper(t *testing.T) {
+	scenario := crashtest.Scenario()
+	if scenario == "" {
+		t.Skip("not a crash helper process")
+	}
+	path := filepath.Join(crashtest.Dir(), crashLogName)
+	switch scenario {
+	case "kill-after-append":
+		// Die immediately after a complete append: the record must be
+		// durable (no deferred flush the crash could lose).
+		l, err := OpenLog(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l.Append(testRecord("a|foods|1|1", 1000))
+		faultinject.Arm(FaultLogAppended, faultinject.Kill())
+		l.Append(testRecord("b|foods|2|2", 2000))
+	case "kill-after-torn-append":
+		// Die after an append that silently tore at 10 bytes: the torn
+		// record must vanish on recovery, the prior one must survive.
+		l, err := OpenLog(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l.Append(testRecord("a|foods|1|1", 1000))
+		faultinject.Arm(FaultLogAppend, faultinject.SilentTruncate(10))
+		faultinject.Arm(FaultLogAppended, faultinject.Kill())
+		l.Append(testRecord("b|foods|2|2", 2000))
+	case "kill-in-recovery-rename":
+		// Die between writing the recovery temp file and renaming it over
+		// the log: the original (torn but readable-prefix) file must
+		// survive untouched for the next open to recover again.
+		faultinject.Arm(FaultLogRecover+".rename", faultinject.Kill())
+		OpenLog(path)
+	}
+	t.Fatalf("scenario %s did not kill the process", scenario)
+}
+
+func TestCrashAppendDurable(t *testing.T) {
+	dir := t.TempDir()
+	crashtest.Run(t, "TestCrashHelper", "kill-after-append", dir)
+
+	l, err := OpenLog(filepath.Join(dir, crashLogName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	recordsEqual(t, l.Records(),
+		[]Record{testRecord("a|foods|1|1", 1000), testRecord("b|foods|2|2", 2000)})
+}
+
+func TestCrashTornAppendRecovered(t *testing.T) {
+	dir := t.TempDir()
+	crashtest.Run(t, "TestCrashHelper", "kill-after-torn-append", dir)
+	path := filepath.Join(dir, crashLogName)
+
+	a := testRecord("a|foods|1|1", 1000)
+	l, err := OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recordsEqual(t, l.Records(), []Record{a})
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(len(encodeRecord(a))); st.Size() != want {
+		t.Fatalf("recovered log is %d bytes, want the clean prefix %d", st.Size(), want)
+	}
+	// The recovered log accepts appends and stays clean.
+	c := testRecord("c|foods|3|3", 3000)
+	if err := l.Append(c); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	got, dropped, err := ReadLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 0 {
+		t.Fatalf("recovered log reports %d dropped bytes", dropped)
+	}
+	recordsEqual(t, got, []Record{a, c})
+}
+
+func TestCrashRecoveryRenameKilled(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, crashLogName)
+	a := testRecord("a|foods|1|1", 1000)
+
+	// Seed a log with one clean record plus a torn tail, so the helper's
+	// OpenLog enters the clean-prefix rewrite and dies before the rename.
+	l, err := OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(a); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("VCL1torn-tail-from-a-previous-crash"))
+	f.Close()
+
+	crashtest.Run(t, "TestCrashHelper", "kill-in-recovery-rename", dir)
+
+	// A crash mid-recovery must not have replaced the log with anything
+	// partial: the clean prefix is still readable, and a normal open
+	// completes the recovery the crashed one started.
+	l, err = OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	recordsEqual(t, l.Records(), []Record{a})
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(len(encodeRecord(a))); st.Size() != want {
+		t.Fatalf("recovered log is %d bytes, want the clean prefix %d", st.Size(), want)
+	}
+}

@@ -38,6 +38,13 @@ type StageComparison struct {
 	// is an attach, not inference, and the render labels it instead of
 	// comparing.
 	Shared bool
+	// Unmodeled marks a span label the simulator has no cost component for
+	// at all (a stage name this comparison predates). Its zero estimate
+	// would otherwise read as infinite drift, so renders label it and
+	// calibration aggregates exclude it. Cached/shared attaches are NOT
+	// unmodeled: the simulator knows those stages, it deliberately prices
+	// them at zero for a cold run.
+	Unmodeled bool
 }
 
 // Share returns d's fraction of total, in [0, 1] (0 when total is 0).
@@ -58,6 +65,7 @@ func share(d time.Duration, total time.Duration) float64 {
 //	train:<l>         → the layer's TrainFirstSec + TrainRestSec + JoinSec
 //	cache:<l>         → 0 (feature-store attach; the simulator runs cold)
 //	shared:<l>        → 0 (share-handoff attach; the leader ran the pass)
+//	anything else     → 0, flagged Unmodeled (no cost component exists)
 //
 // A crashed simulation (r.Crash != nil) yields all-zero estimates.
 func CompareTrace(r Result, trace *obs.Span) []StageComparison {
@@ -65,33 +73,40 @@ func CompareTrace(r Result, trace *obs.Span) []StageComparison {
 	for _, lc := range r.Layers {
 		byLayer[lc.Layer] = lc
 	}
-	estimate := func(label string) float64 {
-		if r.Crash != nil {
-			return 0
-		}
+	// estimate prices a label; modeled reports whether the simulator has a
+	// cost component for it at all (cache/shared attaches are modeled — at
+	// zero, deliberately — while an unknown name is not).
+	estimate := func(label string) (sec float64, modeled bool) {
 		name, layer, _ := strings.Cut(label, ":")
 		lc := byLayer[layer]
 		switch name {
 		case "ingest":
-			return r.ReadSec
+			sec, modeled = r.ReadSec, true
 		case "join":
-			return r.JoinSec
+			sec, modeled = r.JoinSec, true
 		case "infer", "premat":
-			return lc.InferSec
+			sec, modeled = lc.InferSec, true
 		case "train":
-			return lc.TrainFirstSec + lc.TrainRestSec + lc.JoinSec
+			sec, modeled = lc.TrainFirstSec+lc.TrainRestSec+lc.JoinSec, true
+		case "cache", "shared":
+			sec, modeled = 0, true
 		}
-		return 0
+		if r.Crash != nil {
+			sec = 0
+		}
+		return sec, modeled
 	}
 	children := trace.Children()
 	out := make([]StageComparison, len(children))
 	for i, sp := range children {
+		sec, modeled := estimate(sp.Name())
 		out[i] = StageComparison{
 			Stage:     sp.Name(),
-			Estimated: time.Duration(estimate(sp.Name()) * float64(time.Second)),
+			Estimated: time.Duration(sec * float64(time.Second)),
 			Measured:  sp.Duration(),
 			Cached:    strings.HasPrefix(sp.Name(), "cache:"),
 			Shared:    strings.HasPrefix(sp.Name(), "shared:"),
+			Unmodeled: !modeled,
 		}
 	}
 	return out
@@ -119,6 +134,9 @@ func RenderComparison(w io.Writer, comps []StageComparison) {
 		}
 		if c.Shared {
 			note = "  (shared: leader's pass attached, not modeled)"
+		}
+		if c.Unmodeled {
+			note = "  (unmodeled: the simulator has no cost component for this stage)"
 		}
 		fmt.Fprintf(w, "%-*s  %12s %6.1f%%  %12s %6.1f%%%s\n", width, c.Stage,
 			formatSec(c.Estimated), 100*share(c.Estimated, estTotal),

@@ -101,3 +101,48 @@ func TestRenderComparison(t *testing.T) {
 		}
 	}
 }
+
+func TestCompareTraceUnmodeledLabel(t *testing.T) {
+	t0 := time.Unix(0, 0)
+	root := obs.StartSpanAt("run", t0)
+	root.StartChildAt("ingest", t0).EndAt(t0.Add(100 * time.Millisecond))
+	root.StartChildAt("frobnicate:fc6", t0.Add(100*time.Millisecond)).
+		EndAt(t0.Add(200 * time.Millisecond))
+	root.StartChildAt("cache:fc7", t0.Add(200*time.Millisecond)).
+		EndAt(t0.Add(220 * time.Millisecond))
+	root.EndAt(t0.Add(250 * time.Millisecond))
+
+	comps := CompareTrace(simulated(), root)
+	if len(comps) != 3 {
+		t.Fatalf("got %d rows, want 3", len(comps))
+	}
+	if comps[0].Unmodeled {
+		t.Errorf("ingest flagged unmodeled")
+	}
+	if !comps[1].Unmodeled {
+		t.Errorf("bogus label %q not flagged unmodeled", comps[1].Stage)
+	}
+	if comps[1].Estimated != 0 {
+		t.Errorf("unmodeled stage estimated %v, want 0", comps[1].Estimated)
+	}
+	// Cached (and shared) attaches are deliberately priced at zero, not
+	// unmodeled: the simulator knows the stage, it runs cold by design.
+	if comps[2].Unmodeled {
+		t.Errorf("cache attach flagged unmodeled")
+	}
+
+	var b strings.Builder
+	RenderComparison(&b, comps)
+	found := false
+	for _, line := range strings.Split(b.String(), "\n") {
+		if strings.HasPrefix(line, "frobnicate:fc6") {
+			found = true
+			if !strings.Contains(line, "unmodeled") {
+				t.Errorf("unmodeled row not labeled: %q", line)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("frobnicate row missing from render:\n%s", b.String())
+	}
+}

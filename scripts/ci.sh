@@ -35,8 +35,9 @@ echo "== go test -race (fault-injection critical packages) =="
 # arena; their shared-model concurrency tests must run under -race every time.
 # internal/workload is the load driver: its open/closed-loop scheduling and
 # result bookkeeping are all cross-goroutine, so it races under -race or not
-# at all.
-go test -race -count=1 ./internal/faultinject/... ./internal/dataflow ./internal/featurestore ./internal/share ./internal/tensor ./internal/cnn ./internal/workload
+# at all. internal/calib carries the crash-consistent calibration log and the
+# aggregates that metrics callbacks read while runs write.
+go test -race -count=1 ./internal/faultinject/... ./internal/calib ./internal/dataflow ./internal/featurestore ./internal/share ./internal/tensor ./internal/cnn ./internal/workload
 
 echo "== chaos: -race short smoke =="
 go test -race -short -count=1 ./internal/chaos
@@ -101,6 +102,51 @@ kill "$load_server_pid"
 wait "$load_server_pid" 2>/dev/null || true
 trap - EXIT
 rm -rf "$load_tmp"
+
+echo "== calibration smoke (drift observatory end-to-end) =="
+# Boot a log-backed server, drive three real /run requests, and assert the
+# drift observatory saw them on every surface: /calibration reports non-empty
+# per-stage aggregates, /metrics exports the vista_calib_* series, and the
+# offline replay (vista -calib report) reproduces the live JSON byte-for-byte
+# from the persisted log — the property that makes the log trustworthy.
+calib_tmp=$(mktemp -d)
+calib_port=$((20000 + RANDOM % 10000))
+go build -o "$calib_tmp/vista-server" ./cmd/vista-server
+go build -o "$calib_tmp/vista" ./cmd/vista
+"$calib_tmp/vista-server" -addr "127.0.0.1:$calib_port" -feature-cache-mb 0 \
+    -calib-log "$calib_tmp/calib.log" -log-format json \
+    >"$calib_tmp/server.log" 2>&1 &
+calib_server_pid=$!
+trap 'kill "$calib_server_pid" 2>/dev/null || true' EXIT
+for _ in $(seq 1 50); do
+    if (exec 3<>"/dev/tcp/127.0.0.1/$calib_port") 2>/dev/null; then exec 3>&- 3<&-; break; fi
+    sleep 0.2
+done
+for _ in 1 2 3; do
+    curl -sf "http://127.0.0.1:$calib_port/run" \
+        -d '{"model":"tiny-alexnet","dataset":"foods","layers":2,"rows":100}' >/dev/null
+done
+curl -sf "http://127.0.0.1:$calib_port/calibration" >"$calib_tmp/live.json"
+for kind in ingest join infer train; do
+    if ! grep -q "\"kind\":\"$kind\",\"samples\":[1-9]" "$calib_tmp/live.json"; then
+        echo "calibration smoke: kind $kind has no samples after 3 runs" >&2
+        cat "$calib_tmp/live.json" >&2
+        exit 1
+    fi
+done
+# (/metrics lands in a file first: grep -q on a live pipe SIGPIPEs curl,
+# which pipefail would then report as a smoke failure.)
+curl -sf "http://127.0.0.1:$calib_port/metrics" >"$calib_tmp/metrics.txt"
+if ! grep -q '^vista_calib_samples_total{stage="infer"} [1-9]' "$calib_tmp/metrics.txt"; then
+    echo "calibration smoke: vista_calib_samples_total missing from /metrics" >&2
+    exit 1
+fi
+kill "$calib_server_pid"
+wait "$calib_server_pid" 2>/dev/null || true
+trap - EXIT
+"$calib_tmp/vista" -calib "$calib_tmp/calib.log" -calib-json report >"$calib_tmp/offline.json"
+cmp "$calib_tmp/live.json" "$calib_tmp/offline.json"
+rm -rf "$calib_tmp"
 
 echo "== bench smoke (BENCH_SHORT=1) =="
 bench_out=$(mktemp)
