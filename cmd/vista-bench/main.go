@@ -25,7 +25,7 @@ type exhibit struct {
 
 func main() {
 	var (
-		only     = flag.String("only", "", "comma-separated exhibits to run (default: all): fig6,fig7a,fig7b,fig8,fig9,fig10,fig11,fig12,fig15,fig16,table2,table3,fig17,sec52,admission,share,verify")
+		only     = flag.String("only", "", "comma-separated exhibits to run (default: all): fig6,fig7a,fig7b,fig8,fig9,fig10,fig11,fig12,fig15,fig16,table2,table3,fig17,sec52,admission,share,calib,verify")
 		fig8Rows = flag.Int("fig8-rows", 1000, "rows per dataset for the real-engine accuracy experiment")
 		fig15Rws = flag.Int("fig15-rows", 300, "rows for the real-engine size-estimation experiment")
 		csvDir   = flag.String("csv", "", "also write one plot-ready CSV per exhibit into this directory")
@@ -103,6 +103,13 @@ func runExhibitsCSV(w io.Writer, only string, fig8Rows, fig15Rows int, csvDir st
 		}},
 		{"share", func() (string, experiments.CSVExporter, error) {
 			r, err := experiments.ShareThroughput(0)
+			if err != nil {
+				return "", nil, err
+			}
+			return r.Render(), r, nil
+		}},
+		{"calib", func() (string, experiments.CSVExporter, error) {
+			r, err := experiments.CalibrationConvergence()
 			if err != nil {
 				return "", nil, err
 			}

@@ -11,9 +11,10 @@ import (
 
 // handleCalibration serves the cost model's rolling drift report: JSON by
 // default (the golden-tested wire format vista -calib report reproduces
-// offline), an aligned text table with ?format=text.
+// offline, including the active-profile annotation when one is set), an
+// aligned text table with ?format=text.
 func (a *api) handleCalibration(w http.ResponseWriter, r *http.Request) {
-	rep := a.calib.Report()
+	rep := a.calib.Report().WithProfile(a.fitter.Active())
 	if r.URL.Query().Get("format") == "text" {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.WriteHeader(http.StatusOK)
@@ -58,6 +59,7 @@ func (a *api) recordCalibration(req *workloadRequest, spec *core.Spec, res *core
 		Cores:         req.Cores,
 		MemBytes:      memory.GB(req.MemGB),
 		InferEstScale: a.calibInferScale,
+		Profile:       a.fitter.Active(),
 	}
 	samples, err := calib.CompareRun(env, res.Trace, res.Series)
 	if err != nil {

@@ -16,7 +16,7 @@ import (
 // records in TestCalibrationGoldenJSON: the endpoint's wire format is part of
 // the operational surface (vista -calib report must reproduce it
 // byte-for-byte), so it is pinned literally.
-const calibrationGolden = `{"runs":2,"samples":7,"half_life_seconds":1800,"stages":[{"kind":"ingest","samples":2,"excluded":0,"ewma_log_ratio":-0.184915,"drift_ratio":0.831175,"drift":0.203116,"suggested_scale":0.8125,"rel_err_hist":[{"le":"0.1","count":0},{"le":"0.25","count":1},{"le":"0.5","count":1},{"le":"1","count":0},{"le":"2","count":0},{"le":"5","count":0},{"le":"+Inf","count":0}]},{"kind":"join","samples":1,"excluded":0,"ewma_log_ratio":0,"drift_ratio":1,"drift":0,"suggested_scale":1,"rel_err_hist":[{"le":"0.1","count":1},{"le":"0.25","count":0},{"le":"0.5","count":0},{"le":"1","count":0},{"le":"2","count":0},{"le":"5","count":0},{"le":"+Inf","count":0}]},{"kind":"infer","samples":2,"excluded":1,"ewma_log_ratio":0.198661,"drift_ratio":1.219769,"drift":0.219769,"suggested_scale":1.25,"rel_err_hist":[{"le":"0.1","count":0},{"le":"0.25","count":1},{"le":"0.5","count":1},{"le":"1","count":0},{"le":"2","count":0},{"le":"5","count":0},{"le":"+Inf","count":0}]},{"kind":"train","samples":1,"excluded":0,"ewma_log_ratio":0,"drift_ratio":1,"drift":0,"suggested_scale":1,"rel_err_hist":[{"le":"0.1","count":1},{"le":"0.25","count":0},{"le":"0.5","count":0},{"le":"1","count":0},{"le":"2","count":0},{"le":"5","count":0},{"le":"+Inf","count":0}]},{"kind":"storage","samples":1,"excluded":0,"ewma_log_ratio":0.405465,"drift_ratio":1.5,"drift":0.5,"suggested_scale":1.5,"rel_err_hist":[{"le":"0.1","count":0},{"le":"0.25","count":0},{"le":"0.5","count":1},{"le":"1","count":0},{"le":"2","count":0},{"le":"5","count":0},{"le":"+Inf","count":0}]}]}
+const calibrationGolden = `{"runs":2,"samples":7,"half_life_seconds":1800,"stages":[{"kind":"ingest","samples":2,"excluded":0,"ewma_log_ratio":-0.184915,"drift_ratio":0.831175,"drift":0.203116,"suggested_scale":0.833333,"active_scale":1,"rel_err_hist":[{"le":"0.1","count":0},{"le":"0.25","count":1},{"le":"0.5","count":1},{"le":"1","count":0},{"le":"2","count":0},{"le":"5","count":0},{"le":"+Inf","count":0}]},{"kind":"join","samples":1,"excluded":0,"ewma_log_ratio":0,"drift_ratio":1,"drift":0,"suggested_scale":1,"active_scale":1,"rel_err_hist":[{"le":"0.1","count":1},{"le":"0.25","count":0},{"le":"0.5","count":0},{"le":"1","count":0},{"le":"2","count":0},{"le":"5","count":0},{"le":"+Inf","count":0}]},{"kind":"infer","samples":2,"excluded":1,"ewma_log_ratio":0.198661,"drift_ratio":1.219769,"drift":0.219769,"suggested_scale":1.222222,"active_scale":1,"rel_err_hist":[{"le":"0.1","count":0},{"le":"0.25","count":1},{"le":"0.5","count":1},{"le":"1","count":0},{"le":"2","count":0},{"le":"5","count":0},{"le":"+Inf","count":0}]},{"kind":"train","samples":1,"excluded":0,"ewma_log_ratio":0,"drift_ratio":1,"drift":0,"suggested_scale":1,"active_scale":1,"rel_err_hist":[{"le":"0.1","count":1},{"le":"0.25","count":0},{"le":"0.5","count":0},{"le":"1","count":0},{"le":"2","count":0},{"le":"5","count":0},{"le":"+Inf","count":0}]},{"kind":"storage","samples":1,"excluded":0,"ewma_log_ratio":0.405465,"drift_ratio":1.5,"drift":0.5,"suggested_scale":1.5,"active_scale":1,"rel_err_hist":[{"le":"0.1","count":0},{"le":"0.25","count":0},{"le":"0.5","count":1},{"le":"1","count":0},{"le":"2","count":0},{"le":"5","count":0},{"le":"+Inf","count":0}]}]}
 `
 
 func TestCalibrationGoldenJSON(t *testing.T) {

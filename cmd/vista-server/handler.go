@@ -127,6 +127,11 @@ type api struct {
 	// calib accumulates estimate-vs-measured drift across runs, behind
 	// GET /calibration; never nil (memory-only when no log is configured).
 	calib *calib.Recorder
+	// fitter holds the active calibration profile — pinned (loaded once,
+	// never refitted) or floating (periodic refits when -auto-calibrate is
+	// on). nil = no profile: pricing uses the paper constants. Methods on a
+	// nil fitter are safe and return the identity.
+	fitter *calib.Fitter
 	// logger receives request-scoped server logs, tagged with run IDs so
 	// log lines join against /trace?run=ID; never nil.
 	logger *slog.Logger
@@ -204,6 +209,16 @@ type serverConfig struct {
 	maxDrift float64
 	// calibInferScale is the deliberate mis-calibration test hook (0/1 = off).
 	calibInferScale float64
+	// calibProfile seeds the active calibration profile (nil = none). With
+	// autoCalibrate false the profile is pinned: pricing uses it as loaded,
+	// forever.
+	calibProfile *calib.Profile
+	// autoCalibrate builds a refitting Fitter (main starts its loop);
+	// profile-changing refits persist to calibProfilePath when non-empty.
+	autoCalibrate    bool
+	calibProfilePath string
+	// refitInterval is the auto-calibration cadence (0 = the default).
+	refitInterval time.Duration
 	// logger receives server logs (nil = discard; main wires stderr).
 	logger *slog.Logger
 }
@@ -245,6 +260,20 @@ func newAPI(cfg serverConfig) *api {
 		a.logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	a.calib.RegisterMetrics(a.metrics)
+	if cfg.calibProfile != nil || cfg.autoCalibrate {
+		path := ""
+		if cfg.autoCalibrate {
+			path = cfg.calibProfilePath // a pinned profile is never rewritten
+		}
+		a.fitter = calib.NewFitter(calib.FitterConfig{
+			Recorder: a.calib,
+			Path:     path,
+			Interval: cfg.refitInterval,
+			Initial:  cfg.calibProfile,
+			Clock:    cfg.clk,
+		})
+		a.fitter.RegisterMetrics(a.metrics)
+	}
 	if cfg.memBudgetBytes > 0 {
 		ctrl, err := admission.New(admission.Config{
 			BudgetBytes:  cfg.memBudgetBytes,
@@ -556,6 +585,13 @@ func (a *api) handleRun(w http.ResponseWriter, r *http.Request) {
 		FeatureStore: a.store,
 		Metrics:      a.metrics,
 		SampleEvery:  runSampleEvery,
+	}
+	// The active calibration profile (pinned or auto-fitted) corrects both
+	// halves of this run: plan choice + admission pricing here, and the
+	// estimate side of its calibration record below (recordCalibration reads
+	// the active profile again at record time).
+	if p := a.fitter.Active(); p != nil {
+		spec.CostScales = p.CostScales()
 	}
 
 	// Sharing: announce the run to the coalescer and wait out the batching

@@ -109,6 +109,14 @@ func main() {
 		"cost-model drift bound enforced by /healthz?slo=1: 503 when any stage kind's EWMA drift (max(ratio,1/ratio)-1) exceeds it (0 disables)")
 	calibInferScale := flag.Float64("calib-infer-scale", 0,
 		"deliberately multiply the simulator's inference estimates before calibration folding (test hook for the -max-drift path; 0 or 1 = off)")
+	calibHalfLife := flag.Duration("calib-half-life", 0,
+		"calibration EWMA half-life (0 = the 30m default); offline replays must pass the same value to reproduce /calibration byte-for-byte")
+	calibProfile := flag.String("calib-profile", "",
+		"calibration profile file: loaded at boot and applied to /run plan choice and admission pricing; pinned as-is unless -auto-calibrate also rewrites it on profile-changing refits")
+	autoCalibrate := flag.Bool("auto-calibrate", false,
+		"close the calibration loop: periodically refit per-stage scale factors from the rolling aggregates and price /run through the fitted profile")
+	refitInterval := flag.Duration("calib-refit-interval", calib.DefaultRefitInterval,
+		"how often -auto-calibrate refits the profile from the aggregates")
 	debugAddr := flag.String("debug-addr", "",
 		"optional separate listen address serving net/http/pprof profiles under /debug/pprof/ (empty = off)")
 	logFormat := flag.String("log-format", "text",
@@ -128,6 +136,10 @@ func main() {
 	}
 	if *maxDrift < 0 {
 		fmt.Fprintln(os.Stderr, "vista-server: -max-drift must be >= 0")
+		os.Exit(2)
+	}
+	if *calibHalfLife < 0 || *refitInterval <= 0 {
+		fmt.Fprintln(os.Stderr, "vista-server: -calib-half-life must be >= 0 and -calib-refit-interval > 0")
 		os.Exit(2)
 	}
 	var logger *slog.Logger
@@ -169,7 +181,7 @@ func main() {
 		logger.Info("feature store opened", "dir", dir, "budget_mib", *cacheMB)
 	}
 
-	calibRec, err := calib.Open(calib.Config{Path: *calibLog})
+	calibRec, err := calib.Open(calib.Config{Path: *calibLog, HalfLife: *calibHalfLife})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vista-server:", err)
 		os.Exit(1)
@@ -180,20 +192,49 @@ func main() {
 			"path", *calibLog, "replayed_runs", calibRec.Report().Runs)
 	}
 
-	handler := newAPI(serverConfig{
-		store:           store,
-		sloP99:          *sloP99,
-		memBudgetBytes:  *memBudget << 20,
-		queueDepth:      *queueDepth,
-		queueTimeout:    *queueTimeout,
-		runHistory:      *runHistory,
-		share:           *shareOn,
-		shareWindow:     *shareWindow,
-		calib:           calibRec,
-		maxDrift:        *maxDrift,
-		calibInferScale: *calibInferScale,
-		logger:          logger,
-	}).handler()
+	var initProfile *calib.Profile
+	if *calibProfile != "" {
+		p, perr := calib.LoadProfile(*calibProfile)
+		switch {
+		case perr == nil:
+			initProfile = p
+		case errors.Is(perr, os.ErrNotExist) && *autoCalibrate:
+			// The first profile-changing refit will create the file.
+		default:
+			fmt.Fprintln(os.Stderr, "vista-server:", perr)
+			os.Exit(1)
+		}
+	}
+
+	a := newAPI(serverConfig{
+		store:            store,
+		sloP99:           *sloP99,
+		memBudgetBytes:   *memBudget << 20,
+		queueDepth:       *queueDepth,
+		queueTimeout:     *queueTimeout,
+		runHistory:       *runHistory,
+		share:            *shareOn,
+		shareWindow:      *shareWindow,
+		calib:            calibRec,
+		maxDrift:         *maxDrift,
+		calibInferScale:  *calibInferScale,
+		calibProfile:     initProfile,
+		autoCalibrate:    *autoCalibrate,
+		calibProfilePath: *calibProfile,
+		refitInterval:    *refitInterval,
+		logger:           logger,
+	})
+	handler := a.handler()
+	if *autoCalibrate {
+		a.fitter.Start()
+		defer a.fitter.Stop()
+		logger.Info("auto-calibration enabled",
+			"refit_interval", *refitInterval, "profile", *calibProfile,
+			"seeded_refits", a.fitter.Refits())
+	} else if initProfile != nil {
+		logger.Info("calibration profile pinned",
+			"path", *calibProfile, "fitted_at", initProfile.FittedAt)
+	}
 	if *memBudget > 0 {
 		logger.Info("admission control enabled", "budget_mib", *memBudget,
 			"queue_depth", *queueDepth, "queue_timeout", *queueTimeout)

@@ -3,6 +3,7 @@ package main
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/calib"
 	"repro/internal/core"
@@ -12,7 +13,10 @@ import (
 // appendCalibration folds the finished run's estimate-vs-measured pairs into
 // the calibration log at o.calibLog — the same samples a vista-server with
 // -calib-log would record for this workload, so CLI runs and served runs can
-// share one log.
+// share one log. When a calibration profile is loaded it corrects the
+// estimates before they are recorded, exactly as the server's recorder does,
+// so the log carries residual drift rather than re-measuring the error the
+// profile already absorbed.
 func appendCalibration(o runOptions, runSpec core.Spec, res *core.Result) error {
 	var imgBytes, n int64
 	for i := range runSpec.ImageRows {
@@ -39,12 +43,13 @@ func appendCalibration(o runOptions, runSpec core.Spec, res *core.Result) error 
 		Nodes:         o.nodes,
 		Cores:         o.cores,
 		MemBytes:      memory.GB(o.memGB),
+		Profile:       o.profile,
 	}
 	samples, err := calib.CompareRun(env, res.Trace, res.Series)
 	if err != nil {
 		return err
 	}
-	rec, err := calib.Open(calib.Config{Path: o.calibLog})
+	rec, err := calib.Open(calib.Config{Path: o.calibLog, HalfLife: o.calibHalfLife})
 	if err != nil {
 		return err
 	}
@@ -55,14 +60,24 @@ func appendCalibration(o runOptions, runSpec core.Spec, res *core.Result) error 
 
 // calibReport replays a persisted calibration log into the same rolling
 // report a live server computes — decay runs on record timestamps, so the
-// offline aggregates match the server's byte-for-byte over the same log.
-func calibReport(path string, asJSON bool, stdout, stderr io.Writer) error {
-	rep, dropped, err := calib.ReplayReport(path, 0)
+// offline aggregates match the server's byte-for-byte over the same log
+// (pass the server's -calib-half-life value for the decay clocks to agree).
+// When profilePath names a fitted profile the report is annotated with its
+// active scales, reproducing GET /calibration on a profile-bearing server.
+func calibReport(path, profilePath string, halfLife time.Duration, asJSON bool, stdout, stderr io.Writer) error {
+	rep, dropped, err := calib.ReplayReport(path, halfLife)
 	if err != nil {
 		return err
 	}
 	if dropped > 0 {
 		fmt.Fprintf(stderr, "calibration log has a torn tail: %d unreadable trailing bytes ignored (a crashed writer; the next append-mode open truncates them)\n", dropped)
+	}
+	if profilePath != "" {
+		p, err := calib.LoadProfile(profilePath)
+		if err != nil {
+			return err
+		}
+		rep = rep.WithProfile(p)
 	}
 	if asJSON {
 		return calib.WriteReportJSON(stdout, rep)

@@ -27,6 +27,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/calib"
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/dataflow"
@@ -64,15 +65,21 @@ func main() {
 		sampleEvr  = flag.Duration("sample-every", 10*time.Millisecond, "time-series sample period (with -timeseries-out / -trace-out / -trace)")
 		calibLog   = flag.String("calib", "", "calibration log file: append this run's estimate-vs-measured samples to it, or replay it with the 'report' subcommand (vista -calib <log> report)")
 		calibJSON  = flag.Bool("calib-json", false, "with 'report': emit the calibration report as JSON, byte-identical to a server's GET /calibration over the same log")
+		calibProf  = flag.String("calib-profile", "", "calibration profile file (written by an auto-calibrating vista-server): apply its fitted scales to plan choice and estimates, and annotate 'report' output with it")
+		calibHL    = flag.Duration("calib-half-life", 0, "calibration EWMA half-life (0 = the 30m default); must match the server's -calib-half-life for byte-identical reports over the same log")
 	)
 	flag.Parse()
 
+	if *calibHL < 0 {
+		fmt.Fprintln(os.Stderr, "vista: -calib-half-life must be >= 0")
+		os.Exit(2)
+	}
 	if flag.Arg(0) == "report" {
 		if *calibLog == "" {
 			fmt.Fprintln(os.Stderr, "vista: report requires -calib <log-file>")
 			os.Exit(2)
 		}
-		if err := calibReport(*calibLog, *calibJSON, os.Stdout, os.Stderr); err != nil {
+		if err := calibReport(*calibLog, *calibProf, *calibHL, *calibJSON, os.Stdout, os.Stderr); err != nil {
 			fmt.Fprintln(os.Stderr, "vista:", err)
 			os.Exit(1)
 		}
@@ -87,7 +94,7 @@ func main() {
 		cacheDir: *cacheDir, cacheMB: *cacheMB, trace: *trace,
 		traceOut: *traceOut, traceFormat: *traceFmt,
 		timeseriesOut: *seriesOut, sampleEvery: *sampleEvr,
-		calibLog: *calibLog,
+		calibLog: *calibLog, calibProfile: *calibProf, calibHalfLife: *calibHL,
 	}
 	// Ctrl-C / SIGTERM cancels the run context: the executor aborts at the
 	// next stage boundary (or inside the running stage, via TaskContext),
@@ -128,6 +135,10 @@ type runOptions struct {
 	timeseriesOut string
 	sampleEvery   time.Duration
 	calibLog      string
+	calibProfile  string
+	calibHalfLife time.Duration
+	// profile is the loaded -calib-profile (nil = none); run() populates it.
+	profile *calib.Profile
 }
 
 // observing reports whether the run needs the metrics registry and sampler.
@@ -152,6 +163,13 @@ func run(ctx context.Context, o runOptions, stdout, stderr io.Writer) error {
 	if o.observing() && o.sampleEvery <= 0 {
 		o.sampleEvery = time.Millisecond
 	}
+	if o.calibProfile != "" {
+		p, err := calib.LoadProfile(o.calibProfile)
+		if err != nil {
+			return err
+		}
+		o.profile = p
+	}
 
 	structRows, imageRows, err := loadOrGenerate(o, stdout)
 	if err != nil {
@@ -169,6 +187,7 @@ func run(ctx context.Context, o runOptions, stdout, stderr io.Writer) error {
 		StructRows:   structRows,
 		ImageRows:    imageRows,
 		Seed:         o.seed,
+		CostScales:   o.profile.CostScales(),
 	}
 	if o.cacheDir != "" {
 		store, err := featurestore.Open(o.cacheDir, o.cacheMB<<20)

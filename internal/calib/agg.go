@@ -31,7 +31,10 @@ type kindAgg struct {
 	last     time.Time
 	hist     []int64 // len(relErrBounds)+1; last bucket is +Inf
 	// sumEstMeas/sumEstSq accumulate the least-squares scale fit
-	// s = Σ(est·meas)/Σ(est²), the minimizer of Σ(meas − s·est)².
+	// s = Σ(est·meas)/Σ(est²), the minimizer of Σ(meas − s·est)². They
+	// decay with the same half-life as the EWMA: once a profile refit
+	// changes what "estimated" means, pre-refit history must fade at the
+	// same rate as the drift signal or the residual fit never converges.
 	sumEstMeas float64
 	sumEstSq   float64
 }
@@ -79,6 +82,8 @@ func (a *Aggregator) Add(rec Record) {
 				d := math.Pow(0.5, dt.Seconds()/a.halfLife.Seconds())
 				ka.sumW *= d
 				ka.sumWX *= d
+				ka.sumEstMeas *= d
+				ka.sumEstSq *= d
 			}
 		}
 		if rec.At.After(ka.last) {
@@ -122,11 +127,17 @@ type StageAggregate struct {
 	// Drift is the symmetric magnitude max(r, 1/r) − 1, the quantity
 	// -max-drift bounds: 0.5 means "off by 1.5× in either direction".
 	Drift float64 `json:"drift"`
-	// SuggestedScale is the least-squares scale s minimizing
-	// Σ(meas − s·est)² over all samples — the read-only input for a future
-	// feedback loop into optimizer/sim.AdmissionCost pricing.
-	SuggestedScale float64      `json:"suggested_scale"`
-	RelErrHist     []HistBucket `json:"rel_err_hist"`
+	// SuggestedScale is the decayed least-squares scale s minimizing
+	// Σ(meas − s·est)² over recent samples. With a profile active the
+	// estimates entering the fit are already profile-corrected, so this is
+	// the *residual* correction a refit would multiply onto the active
+	// factor (see Refit).
+	SuggestedScale float64 `json:"suggested_scale"`
+	// ActiveScale is the correction the active calibration profile
+	// currently applies to this kind's estimates (1 when no profile is
+	// active); set by Report.WithProfile.
+	ActiveScale float64      `json:"active_scale"`
+	RelErrHist  []HistBucket `json:"rel_err_hist"`
 }
 
 // Report is the full calibration report: what GET /calibration serves and
@@ -136,6 +147,29 @@ type Report struct {
 	Samples         int64            `json:"samples"`
 	HalfLifeSeconds float64          `json:"half_life_seconds"`
 	Stages          []StageAggregate `json:"stages"`
+	// Profile is the active calibration profile, when one is (see
+	// WithProfile); omitted entirely for unprofiled reports so the PR-9 wire
+	// format is unchanged.
+	Profile *Profile `json:"profile,omitempty"`
+}
+
+// WithProfile annotates the report with the active profile p: each stage's
+// ActiveScale becomes p's factor for that kind, and the profile itself is
+// embedded. A nil p returns the report unchanged (ActiveScale stays 1). The
+// stages slice is copied, so annotating a snapshot never mutates shared
+// state.
+func (r Report) WithProfile(p *Profile) Report {
+	if p == nil {
+		return r
+	}
+	stages := make([]StageAggregate, len(r.Stages))
+	copy(stages, r.Stages)
+	for i := range stages {
+		stages[i].ActiveScale = round6(p.ScaleFor(Kind(stages[i].Kind)))
+	}
+	r.Stages = stages
+	r.Profile = p
+	return r
 }
 
 // Report snapshots the aggregates. Every kind is always present, in Kinds
@@ -153,7 +187,7 @@ func (a *Aggregator) Report() Report {
 		ka := a.kinds[k]
 		st := StageAggregate{
 			Kind: string(k), Samples: ka.samples, Excluded: ka.excluded,
-			DriftRatio: 1, SuggestedScale: 1,
+			DriftRatio: 1, SuggestedScale: 1, ActiveScale: 1,
 		}
 		if ka.samples > 0 && ka.sumW > 0 {
 			mean := ka.sumWX / ka.sumW
@@ -174,6 +208,62 @@ func (a *Aggregator) Report() Report {
 		rep.Stages = append(rep.Stages, st)
 	}
 	return rep
+}
+
+// lsState is one kind's raw least-squares accumulator, snapshotted at a refit
+// boundary. Because every sum decays by the same multiplicative factor, a
+// snapshot can be decayed forward to a later snapshot's timestamp and
+// subtracted out, leaving exactly the contribution of the samples recorded in
+// between — the windowing fitSince builds on.
+type lsState struct {
+	samples    int64
+	sumEstMeas float64
+	sumEstSq   float64
+	last       time.Time
+}
+
+// fitEvidence is a windowed residual fit: the least-squares scale restricted
+// to samples recorded after a snapshot, plus how many there were. A kind with
+// no usable window reports zero samples and scale 1.
+type fitEvidence struct {
+	samples   int64
+	suggested float64
+}
+
+// fitSince returns, per kind, the residual fit over samples recorded since
+// base (a missing entry means "since the beginning"), and the current
+// snapshots a caller consuming the evidence should store as its next base.
+// The Fitter uses this so each refit acts only on evidence gathered under the
+// factors it is about to revise: refitting from the cumulative fit would
+// re-apply history already absorbed into the profile and compound the
+// correction past its fixed point.
+func (a *Aggregator) fitSince(base map[Kind]lsState) (map[Kind]fitEvidence, map[Kind]lsState) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	ev := make(map[Kind]fitEvidence, len(a.kinds))
+	snap := make(map[Kind]lsState, len(a.kinds))
+	for k, ka := range a.kinds {
+		cur := lsState{samples: ka.samples, sumEstMeas: ka.sumEstMeas, sumEstSq: ka.sumEstSq, last: ka.last}
+		snap[k] = cur
+		prev := base[k]
+		em, ee := cur.sumEstMeas, cur.sumEstSq
+		if prev.samples > 0 {
+			d := 1.0
+			if dt := cur.last.Sub(prev.last); dt > 0 {
+				d = math.Pow(0.5, dt.Seconds()/a.halfLife.Seconds())
+			}
+			em -= d * prev.sumEstMeas
+			ee -= d * prev.sumEstSq
+		}
+		e := fitEvidence{samples: cur.samples - prev.samples, suggested: 1}
+		if e.samples > 0 && ee > 0 && em > 0 {
+			e.suggested = em / ee
+		} else {
+			e.samples = 0 // numerically empty window: no evidence
+		}
+		ev[k] = e
+	}
+	return ev, snap
 }
 
 // driftOf reads one kind's live drift ratio (for the metrics gauge).

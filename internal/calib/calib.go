@@ -175,6 +175,11 @@ type RunEnv struct {
 	// mis-calibration hook so the -max-drift SLO path can be exercised
 	// end-to-end; production callers leave it zero.
 	InferEstScale float64
+	// Profile, when non-nil, is the active calibration profile: estimates
+	// are corrected through it (after the InferEstScale hook, before share
+	// normalization), so the recorded samples measure the residual error the
+	// next refit should act on.
+	Profile *Profile
 }
 
 // CompareRun simulates env's workload on the paper cluster profile, lines the
@@ -222,8 +227,10 @@ func CompareRun(env RunEnv, trace *obs.Span, series *sampler.Recording) ([]Sampl
 			}
 		}
 	}
+	env.Profile.ApplyComparisons(comps)
 	if series != nil {
 		rep := sim.CompareSeries(simRes, trace, series)
+		env.Profile.ApplySeries(&rep)
 		return SamplesFromRun(comps, &rep), nil
 	}
 	return SamplesFromRun(comps, nil), nil

@@ -111,13 +111,16 @@ func WriteReportJSON(w io.Writer, rep Report) error {
 }
 
 // RenderReport writes the report as an aligned operator-readable table: one
-// row per kind with its sample counts, drift, suggested scale, and the
-// relative-error histogram counts.
+// row per kind with its sample counts, drift, the suggested (residual) and
+// active (profile-applied) scales, and the relative-error histogram counts.
 func RenderReport(w io.Writer, rep Report) {
 	fmt.Fprintf(w, "calibration: %d runs, %d samples, half-life %s\n",
 		rep.Runs, rep.Samples, time.Duration(rep.HalfLifeSeconds*float64(time.Second)))
-	fmt.Fprintf(w, "%-8s %8s %9s %12s %12s %8s  %s\n",
-		"stage", "samples", "excluded", "drift-ratio", "drift", "scale", "|err| <=10% <=25% <=50% <=2x <=3x <=6x >6x")
+	if p := rep.Profile; p != nil {
+		fmt.Fprintf(w, "profile: refit %d at %s\n", p.Refits, p.FittedAt.UTC().Format(time.RFC3339))
+	}
+	fmt.Fprintf(w, "%-8s %8s %9s %12s %12s %8s %8s  %s\n",
+		"stage", "samples", "excluded", "drift-ratio", "drift", "scale", "active", "|err| <=10% <=25% <=50% <=2x <=3x <=6x >6x")
 	for _, st := range rep.Stages {
 		var hist string
 		for i, b := range st.RelErrHist {
@@ -126,8 +129,12 @@ func RenderReport(w io.Writer, rep Report) {
 			}
 			hist += fmt.Sprintf("%d", b.Count)
 		}
-		fmt.Fprintf(w, "%-8s %8d %9d %12.4f %12.4f %8.3f  %s\n",
+		active := st.ActiveScale
+		if active == 0 {
+			active = 1
+		}
+		fmt.Fprintf(w, "%-8s %8d %9d %12.4f %12.4f %8.3f %8.3f  %s\n",
 			st.Kind, st.Samples, st.Excluded, st.DriftRatio, st.Drift,
-			st.SuggestedScale, hist)
+			st.SuggestedScale, active, hist)
 	}
 }

@@ -1,0 +1,130 @@
+package calib
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/memory"
+	"repro/internal/optimizer"
+	"repro/internal/plan"
+	"repro/internal/sim"
+)
+
+// TestConvergenceScenarios is the graded convergence proof the ISSUE's
+// acceptance criteria name: under injected mis-calibration the closed loop
+// must bring every evidenced kind's drift ratio into [0.5, 2.0] within the
+// scripted run budget and hold it there.
+func TestConvergenceScenarios(t *testing.T) {
+	for _, s := range ConvergenceScenarios() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			res := s.Run()
+			if res.ConvergedAfterRuns == 0 {
+				t.Fatalf("never converged: final drift %v", res.FinalDrift)
+			}
+			if res.ConvergedAfterRuns > s.Runs/2 {
+				t.Errorf("converged only after run %d of %d; want within the first half",
+					res.ConvergedAfterRuns, s.Runs)
+			}
+			if res.MaxAbsLogDrift > math.Log(1.5) {
+				t.Errorf("final worst drift e^%.3f exceeds 1.5x", res.MaxAbsLogDrift)
+			}
+			if res.Profile == nil {
+				t.Fatal("no profile fitted")
+			}
+			for k, d := range res.FinalDrift {
+				if d > ConvergenceBand || d < 1/ConvergenceBand {
+					t.Errorf("%s final drift %v outside [0.5, 2.0]", k, d)
+				}
+			}
+		})
+	}
+}
+
+// TestEasyScenarioSingleShotFit pins the exact fixed-point arithmetic of the
+// noiseless single-kind case: one refit suffices, because correcting the
+// share vector by the first fit's residuals reproduces the measured shares
+// exactly (share normalization makes the 25× infer error reappear as a
+// deflation of every other kind, and the fit corrects all of them at once).
+func TestEasyScenarioSingleShotFit(t *testing.T) {
+	res := ConvergenceScenarios()[0].Run()
+	if res.ProfileChanges != 1 {
+		t.Errorf("profile changes = %d, want exactly 1 (noiseless fixed point)", res.ProfileChanges)
+	}
+	// True shares 0.2/0.1/0.5/0.2 with infer estimated 25×: the est share
+	// denominator is 13.0, so infer's residual is 0.5/(12.5/13) ≈ 0.52 and
+	// every other kind's is 13.
+	if got := res.FinalScale[KindInfer]; math.Abs(got-0.52) > 0.001 {
+		t.Errorf("infer factor = %v, want 0.52", got)
+	}
+	if got := res.FinalScale[KindIngest]; math.Abs(got-13) > 0.01 {
+		t.Errorf("ingest factor = %v, want 13", got)
+	}
+}
+
+// TestGradedScenarioDirections checks the fitted factors point the right way
+// per grade: over-estimated kinds correct below 1, under-estimated kinds
+// above 1, and storage (absolute bytes, no share coupling) lands near the
+// inverse of its injected 3× error.
+func TestGradedScenarioDirections(t *testing.T) {
+	suite := ConvergenceScenarios()
+	medium, complex := suite[1].Run(), suite[2].Run()
+	if medium.FinalScale[KindInfer] >= 1 {
+		t.Errorf("medium infer factor %v, want < 1 (estimates ran hot)", medium.FinalScale[KindInfer])
+	}
+	if medium.FinalScale[KindJoin] <= 1 {
+		t.Errorf("medium join factor %v, want > 1 (join under-estimated)", medium.FinalScale[KindJoin])
+	}
+	st := complex.FinalScale[KindStorage]
+	if st < 0.25 || st > 0.5 {
+		t.Errorf("complex storage factor %v, want near 1/3", st)
+	}
+	if complex.FinalDrift[KindStorage] > ConvergenceBand || complex.FinalDrift[KindStorage] < 1/ConvergenceBand {
+		t.Errorf("complex storage drift %v outside band", complex.FinalDrift[KindStorage])
+	}
+}
+
+// TestScenarioProfileFlipsAdmission closes the loop end to end: the profile
+// the easy scenario fits re-prices a real paper-cluster workload, and a
+// budget between the two prices provably flips the admission verdict.
+func TestScenarioProfileFlipsAdmission(t *testing.T) {
+	res := ConvergenceScenarios()[0].Run()
+	if res.Profile == nil {
+		t.Fatal("no fitted profile")
+	}
+	wl, err := sim.NewWorkload(sim.WorkloadSpec{
+		ModelName: "resnet50", NumLayers: 5, Dataset: sim.FoodsSpec(),
+		PlanKind: plan.Staged, Placement: plan.AfterJoin,
+		Nodes: 8, CPUSys: 8, MemSys: memory.GB(32),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, plain, err := sim.AdmissionCost(wl.Inputs, optimizer.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := optimizer.DefaultParams()
+	params.Scales = res.Profile.CostScales()
+	_, fitted, err := sim.AdmissionCost(wl.Inputs, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fitted == plain {
+		t.Fatalf("fitted profile left the price unchanged at %d", plain)
+	}
+	// The verdict flip: one budget, two pricings, two answers.
+	budget := (plain + fitted) / 2
+	lo, hi := plain, fitted
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if !(lo <= budget && budget < hi) {
+		t.Fatalf("budget %d does not separate %d and %d", budget, plain, fitted)
+	}
+	admitPlain := plain <= budget
+	admitFitted := fitted <= budget
+	if admitPlain == admitFitted {
+		t.Errorf("verdict did not flip: plain %d fitted %d budget %d", plain, fitted, budget)
+	}
+}

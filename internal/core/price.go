@@ -35,7 +35,7 @@ func PriceFollower(spec Spec) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return sim.FollowerCost(d, spec.Nodes), nil
+	return sim.FollowerCostScaled(d, spec.Nodes, spec.params().Scales), nil
 }
 
 // price resolves spec's decision and its full admission charge.

@@ -153,6 +153,12 @@ type Spec struct {
 	// Params, when non-nil, overrides the Table 1(C) fixed-but-adjustable
 	// system parameters (OS reservation, Core Memory, partition caps, α).
 	Params *optimizer.Params
+	// CostScales applies a fitted calibration profile's per-stage-kind
+	// corrections (calib.Profile.CostScales) to plan choice and pricing.
+	// The zero value is the identity — the paper constants unchanged. When
+	// both Params and CostScales are set, CostScales wins over
+	// Params.Scales.
+	CostScales optimizer.CostScales
 	// SpillDir overrides the engine's spill directory (tests).
 	SpillDir string
 }
@@ -172,12 +178,17 @@ type FeatureSink interface {
 	Publish(k featurestore.Key, rows []dataflow.Row)
 }
 
-// params returns the effective Table 1(C) parameters.
+// params returns the effective Table 1(C) parameters, with the spec's
+// calibration scales folded in.
 func (s *Spec) params() optimizer.Params {
+	p := optimizer.DefaultParams()
 	if s.Params != nil {
-		return *s.Params
+		p = *s.Params
 	}
-	return optimizer.DefaultParams()
+	if !s.CostScales.IsIdentity() {
+		p.Scales = s.CostScales
+	}
+	return p
 }
 
 // Validate checks the spec before execution.

@@ -31,6 +31,10 @@ type Params struct {
 	// Alpha is the fudge factor for the size blow-up of binary feature
 	// vectors as managed-runtime objects (default 2).
 	Alpha float64
+	// Scales are fitted per-stage-kind corrections applied on top of the
+	// paper constants (see CostScales). The zero value is the identity:
+	// plan choice and pricing then use the Table 1(C) model unchanged.
+	Scales CostScales
 }
 
 // DefaultParams returns the paper's Table 1(C) defaults.
@@ -292,14 +296,25 @@ func validate(in Inputs) error {
 // Optimize implements Algorithm 1 (OptimizeFeatureTransfer): linear search on
 // cpu from min(cpu_sys, cpu_max)−1 down to 1, maximizing cpu (Equation 8)
 // subject to Equations 9–15.
+//
+// When params.Scales carries a fitted calibration profile, the search runs
+// under the corrected constants: Storage scales the Equation 16 intermediate
+// sizes (so np, the Serialized/Deserialized choice, and memory-only
+// feasibility are re-ranked), Infer scales the Equation 11 DL replica
+// footprint, and Train scales the downstream model's memory. The returned
+// Decision's MemDL/SSingle/SDouble then carry the scaled estimates.
 func Optimize(in Inputs, params Params) (Decision, error) {
 	if err := validate(in); err != nil {
 		return Decision{}, err
 	}
+	sc := params.Scales
 	_, sSingle, sDouble, err := IntermediateSizes(in, params)
 	if err != nil {
 		return Decision{}, err
 	}
+	sSingle = ScaleBytes(sSingle, sc.Storage)
+	sDouble = ScaleBytes(sDouble, sc.Storage)
+	in.DownstreamMemBytes = ScaleBytes(in.DownstreamMemBytes, sc.Train)
 	st := in.ModelStats
 
 	upper := in.CPUSys
@@ -318,8 +333,8 @@ func Optimize(in Inputs, params Params) (Decision, error) {
 		}
 		np := NumPartitions(sSingle, x, in.NNodes, params.PMax)
 
-		// DL Execution Memory (Equation 11).
-		memDL := DLMemoryNeed(in, x)
+		// DL Execution Memory (Equation 11), under the fitted Infer scale.
+		memDL := ScaleBytes(DLMemoryNeed(in, x), sc.Infer)
 
 		// User Memory (Equation 10).
 		memUser := UserMemoryNeed(in, x, np, params)
@@ -333,6 +348,7 @@ func Optimize(in Inputs, params Params) (Decision, error) {
 			if err != nil {
 				return Decision{}, err
 			}
+			peak = ScaleBytes(peak, sc.Storage)
 			needStorage := int64(float64(peak) / memoryOnlyCompression / float64(in.NNodes))
 			if memWorker-memUser-params.MemCore < needStorage {
 				continue

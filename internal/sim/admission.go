@@ -18,12 +18,16 @@ import (
 // charges. Infeasible workloads return optimizer.ErrNoFeasible — a workload
 // the optimizer cannot fit on the cluster at all cannot be priced (and would
 // not survive execution either).
+//
+// When params.Scales carries a fitted calibration profile, both halves go
+// through it: Optimize re-ranks the plan under the corrected constants, and
+// the charge is computed by DecisionCostScaled instead of DecisionCost.
 func AdmissionCost(in optimizer.Inputs, params optimizer.Params) (optimizer.Decision, int64, error) {
 	d, err := optimizer.Optimize(in, params)
 	if err != nil {
 		return optimizer.Decision{}, 0, err
 	}
-	return d, DecisionCost(d, in.NNodes), nil
+	return d, DecisionCostScaled(d, in.NNodes, params.Scales), nil
 }
 
 // DecisionCost renders an optimizer decision as an admission charge: the
@@ -36,6 +40,31 @@ func DecisionCost(d optimizer.Decision, nodes int) int64 {
 	return int64(nodes) * (d.MemStorage + d.MemUser + d.MemDL)
 }
 
+// DecisionCostScaled is DecisionCost under a fitted calibration profile.
+// With identity scales it returns exactly DecisionCost — unprofiled servers
+// price bit-for-bit as before. With a real profile the Storage term switches
+// from the full per-worker remainder (MemStorage, which Algorithm 1 sets to
+// everything left after User and DL memory) to the modeled storage *need*,
+// min(MemStorage, ⌈SDouble/nodes⌉): because MemStorage is a remainder, any
+// correction to the DL or intermediate-size estimates would otherwise
+// telescope away — Storage absorbing exactly what Infer released — and the
+// charge would never move. The decision's MemDL and SDouble already carry
+// the Infer and Storage scales when the decision came from a scaled
+// Optimize, so no factor is applied again here.
+func DecisionCostScaled(d optimizer.Decision, nodes int, scales optimizer.CostScales) int64 {
+	if scales.IsIdentity() {
+		return DecisionCost(d, nodes)
+	}
+	if nodes < 1 {
+		nodes = 1
+	}
+	storage := d.MemStorage
+	if need := (d.SDouble + int64(nodes) - 1) / int64(nodes); need < storage {
+		storage = need
+	}
+	return int64(nodes) * (storage + d.MemUser + d.MemDL)
+}
+
 // FollowerCost prices a run that attaches a sharing leader's feature tables
 // instead of executing its own partial-inference pass: the group is charged
 // the full AdmissionCost once, for the leader, and each follower only its
@@ -44,4 +73,10 @@ func DecisionCost(d optimizer.Decision, nodes int) int64 {
 // for the attached tables and downstream training.
 func FollowerCost(d optimizer.Decision, nodes int) int64 {
 	return DecisionCost(optimizer.FollowerDecision(d), nodes)
+}
+
+// FollowerCostScaled is FollowerCost under a fitted calibration profile
+// (see DecisionCostScaled for the charge semantics).
+func FollowerCostScaled(d optimizer.Decision, nodes int, scales optimizer.CostScales) int64 {
+	return DecisionCostScaled(optimizer.FollowerDecision(d), nodes, scales)
 }
